@@ -1,0 +1,111 @@
+package bandwall
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQuickstartHeadline(t *testing.T) {
+	s := DefaultSolver()
+	base, err := s.MaxCores(Combine(), 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 24 {
+		t.Errorf("BASE @16x = %d, want 24", base)
+	}
+	dram, err := s.MaxCores(Combine(DRAMCache{Density: 8}), 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dram != 47 {
+		t.Errorf("DRAM @16x = %d, want 47", dram)
+	}
+}
+
+func TestBaselineAndConstants(t *testing.T) {
+	b := Baseline()
+	if b.P != 8 || b.C != 8 {
+		t.Errorf("baseline = %+v", b)
+	}
+	if AlphaDefault != 0.5 || AlphaSPEC2006 != 0.25 || AlphaOLTPMax != 0.62 {
+		t.Error("alpha constants drifted")
+	}
+}
+
+func TestNewSolverValidates(t *testing.T) {
+	if _, err := NewSolver(Config{P: 8, C: 0}, 0.5); err == nil {
+		t.Error("cacheless baseline accepted")
+	}
+	s, err := NewSolver(Baseline(), AlphaOLTPMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alpha() != 0.62 {
+		t.Errorf("alpha = %v", s.Alpha())
+	}
+}
+
+func TestCatalogAndCombos(t *testing.T) {
+	if got := len(TechniqueCatalog()); got != 9 {
+		t.Errorf("catalog size = %d, want 9", got)
+	}
+	if got := len(Fig16Combos(Realistic)); got != 15 {
+		t.Errorf("combos = %d, want 15", got)
+	}
+	if got := len(Generations(16, 4)); got != 4 {
+		t.Errorf("generations = %d", got)
+	}
+}
+
+func TestExperimentsListAndRun(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != 30 {
+		t.Fatalf("experiments = %d, want 30", len(infos))
+	}
+	for _, info := range infos {
+		if info.ID == "" || info.Title == "" || info.Paper == "" {
+			t.Errorf("incomplete info: %+v", info)
+		}
+	}
+	r, err := RunExperiment("fig02", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Value("cores@B=1"); !ok || v != 11 {
+		t.Errorf("fig02 via facade: %v, %v", v, ok)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	_, err := RunExperiment("nope", true)
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	var ue *UnknownExperimentError
+	if !errors.As(err, &ue) || ue.ID != "nope" {
+		t.Errorf("err = %v, want UnknownExperimentError{nope}", err)
+	}
+	if ue.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestHeteroFacade(t *testing.T) {
+	big := CoreClass{Name: "big", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
+	little := CoreClass{Name: "little", AreaCEA: 0.25, TrafficWeight: 0.3, PerfWeight: 0.5}
+	pl, err := HeteroMaxSecondary(big, little, 0, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 11 {
+		t.Errorf("littles = %v, want more than the 11 homogeneous cores", pl)
+	}
+	best, err := HeteroBestMix(big, little, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Throughput <= 11 {
+		t.Errorf("best hetero throughput = %v, want > 11", best.Throughput)
+	}
+}

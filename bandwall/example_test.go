@@ -1,0 +1,71 @@
+package bandwall_test
+
+import (
+	"fmt"
+
+	"repro/bandwall"
+)
+
+// The paper's headline: with no bandwidth conservation, a constant traffic
+// envelope limits a 16x-area chip to 24 cores instead of the proportional
+// 128.
+func ExampleSolver_MaxCores() {
+	s := bandwall.DefaultSolver()
+	cores, _ := s.MaxCores(bandwall.Combine(), 256, 1)
+	fmt.Println(cores)
+	// Output: 24
+}
+
+// Combining the paper's four most effective techniques makes scaling
+// super-proportional: 183 cores at 16x.
+func ExampleCombine() {
+	s := bandwall.DefaultSolver()
+	all := bandwall.Combine(
+		bandwall.CacheLinkCompression{Ratio: 2},
+		bandwall.DRAMCache{Density: 8},
+		bandwall.ThreeDCache{LayerDensity: 1},
+		bandwall.SmallCacheLines{Unused: 0.4},
+	)
+	cores, _ := s.MaxCores(all, 256, 1)
+	fmt.Println(cores)
+	// Output: 183
+}
+
+// ParseStack accepts the same stack as a compact spec string.
+func ExampleParseStack() {
+	st, _ := bandwall.ParseStack("CC/LC=2 + DRAM=8 + 3D + SmCl=0.4")
+	s := bandwall.DefaultSolver()
+	cores, _ := s.MaxCores(st, 256, 1)
+	fmt.Println(st.Label(), cores)
+	// Output: CC/LC + DRAM + 3D + SmCl 183
+}
+
+// The §4.2 worked example: moving 4 CEAs from cache to cores on the
+// baseline chip raises traffic 2.6x — 1.5x from the extra cores times
+// 1.73x from the smaller per-core cache.
+func ExampleTrafficModel_Relative() {
+	m := bandwall.DefaultSolver().Model()
+	total, coreF, cacheF := m.Relative(bandwall.Config{P: 12, C: 4})
+	fmt.Printf("%.2f = %.2f x %.2f\n", total, coreF, cacheF)
+	// Output: 2.60 = 1.50 x 1.73
+}
+
+// Fig 13: the data-sharing fraction needed to keep 16 proportional cores
+// inside a constant envelope.
+func ExampleSolver_BreakEvenSharing() {
+	s := bandwall.DefaultSolver()
+	fsh, _ := s.BreakEvenSharing(32, 16, 1)
+	fmt.Printf("%.1f%%\n", 100*fsh)
+	// Output: 39.5%
+}
+
+// A full generation sweep for one technique (the Fig 15 DRAM row).
+func ExampleSolver_SweepGenerations() {
+	s := bandwall.DefaultSolver()
+	st := bandwall.Combine(bandwall.DRAMCache{Density: 8})
+	pts, _ := s.SweepGenerations(st, bandwall.Generations(16, 4), 1)
+	for _, p := range pts {
+		fmt.Printf("%d ", p.Cores)
+	}
+	// Output: 18 26 36 47
+}

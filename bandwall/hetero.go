@@ -1,0 +1,34 @@
+package bandwall
+
+import "repro/internal/hetero"
+
+// Heterogeneous-CMP extension: the design space the paper's §3 defers
+// ("a heterogeneous CMP has the potential of being more area efficient"),
+// modeled with the same power law plus optimal cache partitioning across
+// core classes (water-filling: s_i ∝ m_i^(1/(1+α))).
+
+// Heterogeneous-CMP types.
+type (
+	// CoreClass describes one core type: die area, per-core traffic
+	// weight, and per-core performance relative to the baseline core.
+	CoreClass = hetero.CoreClass
+	// HeteroChip is a heterogeneous design point.
+	HeteroChip = hetero.Chip
+	// HeteroDesignPoint is one evaluated mix.
+	HeteroDesignPoint = hetero.DesignPoint
+)
+
+// HeteroMaxSecondary returns the largest secondary-core count that fits
+// the traffic budget on an n-CEA die, with primaryCount primary cores
+// reserved and the remaining area as cache. Budget is in baseline-core
+// traffic units (the paper's baseline chip generates 8).
+func HeteroMaxSecondary(primary, secondary CoreClass, primaryCount, n, budget, alpha float64) (float64, error) {
+	return hetero.MaxSecondary(primary, secondary, primaryCount, n, budget, alpha)
+}
+
+// HeteroBestMix sweeps primary-core counts and fills the rest of the die
+// with budget-feasible secondary cores, returning the highest-throughput
+// mix.
+func HeteroBestMix(primary, secondary CoreClass, n, budget, alpha float64) (HeteroDesignPoint, error) {
+	return hetero.BestMix(primary, secondary, n, budget, alpha)
+}

@@ -1,0 +1,135 @@
+package bandwall
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/compress"
+	"repro/internal/fit"
+	"repro/internal/memsys"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file exposes the measurement substrates: enough to generate
+// workloads, simulate caches and CMPs, fit α from miss curves, measure
+// compression ratios, and model the memory channel — the full pipeline
+// from "my workload" to "how many cores can my next chip support".
+
+// Trace types.
+type (
+	// Access is one memory reference.
+	Access = trace.Access
+	// Generator produces a deterministic access stream.
+	Generator = trace.Generator
+	// TraceStats summarizes an access stream.
+	TraceStats = trace.Stats
+)
+
+// Workload generators.
+type (
+	// StackDistanceConfig parameterizes the power-law workload generator.
+	StackDistanceConfig = workload.StackDistanceConfig
+	// StackDistance emits accesses with Pareto-tailed reuse distances,
+	// producing power-law miss curves by construction.
+	StackDistance = workload.StackDistance
+	// SharedPrivateConfig parameterizes the multithreaded PARSEC-like
+	// generator (fixed shared region, per-thread private sets).
+	SharedPrivateConfig = workload.SharedPrivateConfig
+	// SharedPrivate is the multithreaded generator.
+	SharedPrivate = workload.SharedPrivate
+)
+
+// Cache simulation.
+type (
+	// CacheConfig describes one simulated cache.
+	CacheConfig = cachesim.Config
+	// Cache is a set-associative cache simulator.
+	Cache = cachesim.Cache
+	// CacheStats holds hit/miss/write-back/traffic counters.
+	CacheStats = cachesim.Stats
+	// CurvePoint is one (size, stats) sample of a miss curve.
+	CurvePoint = cachesim.CurvePoint
+	// ReplacementPolicy selects LRU/FIFO/Random/PLRU.
+	ReplacementPolicy = cachesim.Policy
+)
+
+// Replacement policies.
+const (
+	LRU    = cachesim.LRU
+	FIFO   = cachesim.FIFO
+	Random = cachesim.Random
+	PLRU   = cachesim.PLRU
+)
+
+// Multicore simulation.
+type (
+	// CMPConfig describes a simulated chip (cores + private L1s + shared L2).
+	CMPConfig = multicore.Config
+	// CMP is the simulated chip with sharing tracking.
+	CMP = multicore.CMP
+	// SharingStats summarizes L2 line-lifetime sharing.
+	SharingStats = multicore.SharingStats
+)
+
+// PowerLawFit is a fitted miss curve with quality metrics.
+type PowerLawFit = fit.Result
+
+// MemoryChannel is the M/D/1 off-chip channel model.
+type MemoryChannel = memsys.Channel
+
+// NewStackDistance builds the power-law workload generator.
+func NewStackDistance(cfg StackDistanceConfig) (*StackDistance, error) {
+	return workload.NewStackDistance(cfg)
+}
+
+// NewSharedPrivate builds the multithreaded generator.
+func NewSharedPrivate(cfg SharedPrivateConfig) (*SharedPrivate, error) {
+	return workload.NewSharedPrivate(cfg)
+}
+
+// CollectTrace drains n accesses from a generator.
+func CollectTrace(g Generator, n int) []Access { return trace.Collect(g, n) }
+
+// MeasureTrace computes summary statistics of an access slice.
+func MeasureTrace(as []Access) TraceStats { return trace.Measure(as) }
+
+// NewCache builds a cache simulator.
+func NewCache(cfg CacheConfig) (*Cache, error) { return cachesim.New(cfg) }
+
+// RunTrace replays accesses through a cache, discarding the first `warmup`
+// accesses from the returned statistics.
+func RunTrace(c *Cache, as []Access, warmup int) CacheStats {
+	return cachesim.RunTrace(c, as, warmup)
+}
+
+// MissCurve replays one trace through a size sweep of caches.
+func MissCurve(as []Access, base CacheConfig, sizes []int, warmup int) ([]CurvePoint, error) {
+	return cachesim.MissCurve(as, base, sizes, warmup)
+}
+
+// PowerOfTwoSizes returns doubling cache sizes from lo to hi inclusive.
+func PowerOfTwoSizes(lo, hi int) []int { return cachesim.PowerOfTwoSizes(lo, hi) }
+
+// FitPowerLaw extracts (α, M0, R²) from a simulated miss curve — the
+// Fig 1 analysis. Feed the α into NewSolver to project scaling for the
+// measured workload.
+func FitPowerLaw(points []CurvePoint) (PowerLawFit, error) { return fit.PowerLaw(points) }
+
+// NewCMP builds the shared-L2 multicore simulator.
+func NewCMP(cfg CMPConfig) (*CMP, error) { return multicore.New(cfg) }
+
+// NewMemoryChannel builds the M/D/1 off-chip channel model.
+func NewMemoryChannel(bandwidthBytesPerSec, burstBytes, baseLatencySec float64) (MemoryChannel, error) {
+	return memsys.NewChannel(bandwidthBytesPerSec, burstBytes, baseLatencySec)
+}
+
+// MeasureCompression returns average FPC and BDI compression ratios over n
+// synthetic 64-byte lines of commercial-like value locality — the kind of
+// measurement behind Table 2's compression assumptions.
+func MeasureCompression(n int, seed int64) (fpcRatio, bdiRatio float64, err error) {
+	return compress.MeasureRatios(compress.CommercialMix(), 64, n, seed)
+}
+
+// SRAMBytesPerCEA converts the model's area unit to simulator bytes:
+// one CEA of SRAM cache is 512KB (the baseline's 8 CEAs ≈ 4MB).
+const SRAMBytesPerCEA = cachesim.SRAMBytesPerCEA

@@ -1,0 +1,123 @@
+package bandwall
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEndToEndPipeline drives the full public-API pipeline the library is
+// for: generate a workload → simulate miss curves → fit α → project core
+// scaling with and without techniques.
+func TestEndToEndPipeline(t *testing.T) {
+	gen, err := NewStackDistance(StackDistanceConfig{
+		Alpha:          0.5,
+		HotLines:       128,
+		FootprintLines: 1 << 17,
+		WriteFraction:  0.3,
+		WritesPerLine:  true,
+		Seed:           2024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := CollectTrace(gen, 250_000)
+	st := MeasureTrace(tr)
+	if st.Accesses != 250_000 {
+		t.Fatalf("trace stats = %+v", st)
+	}
+	pts, err := MissCurve(tr, CacheConfig{
+		LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true,
+	}, PowerOfTwoSizes(32*1024, 512*1024), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := FitPowerLaw(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.Alpha-0.5) > 0.1 {
+		t.Fatalf("fitted α = %v, want ≈0.5", pl.Alpha)
+	}
+	solver, err := NewSolver(Baseline(), pl.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := solver.MaxCores(Combine(), 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := solver.MaxCores(Combine(DRAMCache{Density: 8}, LinkCompression{Ratio: 2}), 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted <= base {
+		t.Errorf("techniques did not help: %d vs %d", boosted, base)
+	}
+	// With α ≈ 0.5 the base answer is near the paper's 24.
+	if base < 21 || base > 28 {
+		t.Errorf("base cores = %d, want ≈24", base)
+	}
+}
+
+func TestSimFacadeCacheAndCMP(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := RunTrace(c, []Access{{Addr: 0}, {Addr: 0}}, 0)
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	cmp, err := NewCMP(CMPConfig{
+		Cores: 2,
+		L1:    CacheConfig{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 2, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		L2:    CacheConfig{SizeBytes: 64 * 64, LineBytes: 64, Assoc: 4, Policy: LRU, WriteBack: true, WriteAllocate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Access(Access{Addr: 0, TID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Access(Access{Addr: 0, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sh := cmp.Sharing()
+	if sh.SharedFraction() != 1 {
+		t.Errorf("shared fraction = %v, want 1", sh.SharedFraction())
+	}
+}
+
+func TestSimFacadeChannelAndCompression(t *testing.T) {
+	ch, err := NewMemoryChannel(42e9, 64, 60e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.ThroughputScale(84e9) != 0.5 {
+		t.Error("channel model broken through facade")
+	}
+	fpc, bdi, err := MeasureCompression(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpc <= 1 || bdi <= 1 {
+		t.Errorf("ratios = %v, %v, want > 1", fpc, bdi)
+	}
+	if SRAMBytesPerCEA != 512*1024 {
+		t.Error("CEA constant drifted")
+	}
+}
+
+func TestSharedPrivateFacade(t *testing.T) {
+	g, err := NewSharedPrivate(SharedPrivateConfig{
+		Threads: 4, SharedLines: 64, PrivateLines: 64,
+		SharedAccessFrac: 0.5, Skew: 1.2, WriteFraction: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := CollectTrace(g, 100)
+	if MeasureTrace(tr).Threads != 4 {
+		t.Error("thread interleave broken through facade")
+	}
+}

@@ -1,0 +1,99 @@
+package bandwall
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/technique"
+)
+
+// ParseStack parses a compact technique-stack specification into a Stack.
+// The grammar is label[=value] terms joined by "+":
+//
+//	"CC=2 + DRAM=8 + 3D + SmCl=0.4"
+//
+// Per-technique value meanings (defaults in parentheses):
+//
+//	CC=r     cache compression ratio        (2.0)
+//	DRAM=d   DRAM density vs SRAM           (8)
+//	3D=d     stacked-die density vs SRAM    (1, i.e. SRAM layer)
+//	Fltr=u   unused data fraction           (0.4)
+//	SmCo=k   core shrink factor k (area/k)  (40)
+//	LC=r     link compression ratio         (2.0)
+//	Sect=u   unused data fraction           (0.4)
+//	SmCl=u   unused data fraction           (0.4)
+//	CC/LC=r  cache+link compression ratio   (2.0)
+//	Shr=f      shared data fraction, shared L2     (0.4)
+//	ShrPriv=f  shared data fraction, private L2s   (0.4)
+//
+// An empty spec (or "BASE") yields the empty stack.
+func ParseStack(spec string) (Stack, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "base") {
+		return Combine(), nil
+	}
+	var ts []Technique
+	for _, term := range strings.Split(spec, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Stack{}, fmt.Errorf("bandwall: empty term in spec %q", spec)
+		}
+		label, valStr, hasVal := strings.Cut(term, "=")
+		label = strings.TrimSpace(label)
+		var val float64
+		if hasVal {
+			v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+			if err != nil {
+				return Stack{}, fmt.Errorf("bandwall: bad value in term %q: %w", term, err)
+			}
+			val = v
+		}
+		t, err := buildTechnique(label, val, hasVal)
+		if err != nil {
+			return Stack{}, err
+		}
+		ts = append(ts, t)
+	}
+	return Combine(ts...), nil
+}
+
+// buildTechnique maps one spec term to a technique value.
+func buildTechnique(label string, val float64, hasVal bool) (Technique, error) {
+	pick := func(def float64) float64 {
+		if hasVal {
+			return val
+		}
+		return def
+	}
+	switch strings.ToUpper(label) {
+	case "CC":
+		return technique.CacheCompression{Ratio: pick(2)}, nil
+	case "DRAM":
+		return technique.DRAMCache{Density: pick(8)}, nil
+	case "3D":
+		return technique.ThreeDCache{LayerDensity: pick(1)}, nil
+	case "FLTR":
+		return technique.UnusedDataFilter{Unused: pick(0.4)}, nil
+	case "SMCO":
+		k := pick(40)
+		if k <= 0 {
+			return nil, fmt.Errorf("bandwall: SmCo shrink factor must be positive, got %g", k)
+		}
+		return technique.SmallerCores{AreaFraction: 1 / k}, nil
+	case "LC":
+		return technique.LinkCompression{Ratio: pick(2)}, nil
+	case "SECT":
+		return technique.SectoredCache{Unused: pick(0.4)}, nil
+	case "SMCL":
+		return technique.SmallCacheLines{Unused: pick(0.4)}, nil
+	case "CC/LC", "CCLC":
+		return technique.CacheLinkCompression{Ratio: pick(2)}, nil
+	case "SHR":
+		return technique.DataSharing{SharedFrac: pick(0.4)}, nil
+	case "SHRPRIV", "SHR(PRIV)":
+		return technique.DataSharingPrivate{SharedFrac: pick(0.4)}, nil
+	default:
+		return nil, fmt.Errorf("bandwall: unknown technique %q (want CC, DRAM, 3D, Fltr, SmCo, LC, Sect, SmCl, CC/LC, Shr, ShrPriv)", label)
+	}
+}

@@ -1,0 +1,90 @@
+package bandwall
+
+import (
+	"testing"
+)
+
+func TestParseStackEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", "BASE", "base"} {
+		st, err := ParseStack(spec)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if st.Label() != "BASE" {
+			t.Errorf("%q: label = %s", spec, st.Label())
+		}
+	}
+}
+
+func TestParseStackAllCombined(t *testing.T) {
+	st, err := ParseStack("CC/LC=2 + DRAM=8 + 3D + SmCl=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// It must reproduce the 183-core headline.
+	s := DefaultSolver()
+	cores, err := s.MaxCores(st, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores != 183 {
+		t.Errorf("parsed all-combined @16x = %d, want 183", cores)
+	}
+}
+
+func TestParseStackDefaults(t *testing.T) {
+	st, err := ParseStack("DRAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSolver()
+	cores, err := s.MaxCores(st, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores != 18 { // default density 8
+		t.Errorf("default DRAM @2x = %d, want 18", cores)
+	}
+}
+
+func TestParseStackEveryLabel(t *testing.T) {
+	specs := []string{
+		"CC=1.7", "DRAM=4", "3D=16", "Fltr=0.8", "SmCo=80",
+		"LC=3.5", "Sect=0.1", "SmCl=0.8", "CCLC=2.5", "Shr=0.63",
+		"cc=2", "dram=8", // case-insensitive
+		"ShrPriv=0.5", "Shr(Priv)=0.5",
+	}
+	for _, spec := range specs {
+		if _, err := ParseStack(spec); err != nil {
+			t.Errorf("%q: %v", spec, err)
+		}
+	}
+}
+
+func TestParseStackErrors(t *testing.T) {
+	bad := []string{
+		"Nope=2",
+		"CC=abc",
+		"CC=2 + + DRAM",
+		"SmCo=0",
+		"SmCo=-4",
+	}
+	for _, spec := range bad {
+		if _, err := ParseStack(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}
+
+func TestParseStackTrafficMatchesManual(t *testing.T) {
+	parsed, err := ParseStack("CC=2 + LC=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := Combine(CacheCompression{Ratio: 2}, LinkCompression{Ratio: 3})
+	s := DefaultSolver()
+	if a, b := s.Traffic(parsed, 32, 12), s.Traffic(manual, 32, 12); a != b {
+		t.Errorf("parsed %v != manual %v", a, b)
+	}
+}

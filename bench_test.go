@@ -1,0 +1,152 @@
+// Package repro's root benchmark harness: one benchmark per paper table
+// and figure, regenerating each result end to end. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Model-exact figures (2–13, 15–17, Table 2) are closed-form and fast;
+// simulation-backed ones (1, 14, writeback, compression) run their quick
+// configurations so the whole suite stays in seconds. The per-iteration
+// headline values are re-checked each run, so a benchmark that drifts from
+// the paper fails loudly rather than silently benchmarking wrong answers.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/bandwall"
+)
+
+// benchExperiment runs one reproduction per iteration, sanity-checking a
+// headline value.
+func benchExperiment(b *testing.B, id string, key string, want float64, tol float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := bandwall.RunExperiment(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if key == "" {
+			continue
+		}
+		got, ok := r.Value(key)
+		if !ok {
+			b.Fatalf("%s: missing %q", id, key)
+		}
+		if diff := got - want; diff > tol || diff < -tol {
+			b.Fatalf("%s: %s = %v, want %v ± %v", id, key, got, want, tol)
+		}
+	}
+}
+
+func BenchmarkFig01(b *testing.B) { benchExperiment(b, "fig01", "alpha:commercial-avg", 0.48, 0.12) }
+func BenchmarkFig02(b *testing.B) { benchExperiment(b, "fig02", "cores@B=1", 11, 0) }
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig03", "cores@16x", 24, 0) }
+func BenchmarkFig04(b *testing.B) { benchExperiment(b, "fig04", "cores@2.00x", 13, 0) }
+func BenchmarkFig05(b *testing.B) { benchExperiment(b, "fig05", "cores@8x", 18, 0) }
+func BenchmarkFig06(b *testing.B) { benchExperiment(b, "fig06", "cores@16x", 32, 0) }
+func BenchmarkFig07(b *testing.B) { benchExperiment(b, "fig07", "cores@40%", 12, 0) }
+func BenchmarkFig08(b *testing.B) { benchExperiment(b, "fig08", "cores@1x", 11, 0) }
+func BenchmarkFig09(b *testing.B) { benchExperiment(b, "fig09", "cores@2.00x", 16, 0) }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", "cores@40%", 14, 0) }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", "cores@40%", 16, 0) }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12", "cores@2.00x", 18, 0) }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13", "fsh@16cores", 0.40, 0.01) }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14", "", 0, 0) }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15", "DRAM@16x", 47, 0) }
+func BenchmarkFig16(b *testing.B) {
+	benchExperiment(b, "fig16", "CC/LC + DRAM + 3D + SmCl@16x", 183, 0)
+}
+func BenchmarkFig17(b *testing.B)     { benchExperiment(b, "fig17", "BASE:a=0.62@16x", 0, 1e9) }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2", "rows", 9, 0) }
+func BenchmarkWriteback(b *testing.B) { benchExperiment(b, "writeback", "", 0, 0) }
+func BenchmarkCompression(b *testing.B) {
+	benchExperiment(b, "compression", "", 0, 0)
+}
+func BenchmarkMemsysQueueing(b *testing.B) { benchExperiment(b, "queueing", "knee:cores", 14, 0) }
+
+// BenchmarkSolverMaxCores measures the core scaling solve in isolation —
+// the inner loop of every sweep.
+func BenchmarkSolverMaxCores(b *testing.B) {
+	s := bandwall.DefaultSolver()
+	st := bandwall.Combine(bandwall.CacheLinkCompression{Ratio: 2},
+		bandwall.DRAMCache{Density: 8}, bandwall.ThreeDCache{LayerDensity: 1},
+		bandwall.SmallCacheLines{Unused: 0.4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MaxCores(st, 256, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSweep measures a complete Fig 15-style sweep: 9 techniques
+// × 3 assumptions × 4 generations.
+func BenchmarkFullSweep(b *testing.B) {
+	s := bandwall.DefaultSolver()
+	gens := bandwall.Generations(16, 4)
+	for i := 0; i < b.N; i++ {
+		for _, e := range bandwall.TechniqueCatalog() {
+			for _, a := range []bandwall.Assumption{bandwall.Pessimistic, bandwall.Realistic, bandwall.Optimistic} {
+				for _, g := range gens {
+					if _, err := s.MaxCores(bandwall.Combine(e.New(a)), g.N, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Example-level smoke check so `go test` at the root exercises something
+// beyond benchmarks.
+func TestHeadlineSmoke(t *testing.T) {
+	s := bandwall.DefaultSolver()
+	cases := []struct {
+		spec string
+		n2   float64
+		want int
+	}{
+		{"", 256, 24},
+		{"DRAM=8", 256, 47},
+		{"LC=2", 256, 38},
+		{"CC=2", 256, 30},
+		{"CC/LC=2 + DRAM=8 + 3D + SmCl=0.4", 256, 183},
+	}
+	for _, tc := range cases {
+		st, err := bandwall.ParseStack(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.MaxCores(st, tc.n2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%q @%g: %d cores, want %d", tc.spec, tc.n2, got, tc.want)
+		}
+	}
+}
+
+// ExampleParseStack-style documentation output lives here because the root
+// package is the natural home of cross-cutting docs.
+func Example() {
+	s := bandwall.DefaultSolver()
+	base, _ := s.MaxCores(bandwall.Combine(), 256, 1)
+	dram, _ := s.MaxCores(bandwall.Combine(bandwall.DRAMCache{Density: 8}), 256, 1)
+	fmt.Println(base, dram)
+	// Output: 24 47
+}
+
+// Extension and ablation benches.
+func BenchmarkExtEnvelope(b *testing.B) {
+	benchExperiment(b, "ext-envelope", "BASE:constant (paper default)@16x", 24, 0)
+}
+func BenchmarkExtHetero(b *testing.B)        { benchExperiment(b, "ext-hetero", "homogeneous:cores", 11, 0) }
+func BenchmarkAblPolicy(b *testing.B)        { benchExperiment(b, "abl-policy", "", 0, 0) }
+func BenchmarkAblModel(b *testing.B)         { benchExperiment(b, "abl-model", "sect:model", 0.25, 0) }
+func BenchmarkExtDRAMLatency(b *testing.B)   { benchExperiment(b, "ext-dramlat", "", 0, 0) }
+func BenchmarkExtOverheads(b *testing.B)     { benchExperiment(b, "ext-overheads", "", 0, 0) }
+func BenchmarkAblEq5(b *testing.B)           { benchExperiment(b, "abl-eq5", "", 0, 0) }
+func BenchmarkExtThroughput(b *testing.B)    { benchExperiment(b, "ext-throughput", "", 0, 0) }
+func BenchmarkExtDRAMBandwidth(b *testing.B) { benchExperiment(b, "ext-drambw", "", 0, 0) }

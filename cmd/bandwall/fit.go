@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/bandwall"
+	"repro/internal/cachesim"
+	"repro/internal/fit"
+)
+
+// cmdFit fits the power law to a user-supplied miss curve and projects
+// core scaling for the measured α — the paper's Fig 1 → Fig 15 pipeline
+// for someone else's measurements.
+//
+//	fit [-ci] FILE.csv
+//
+// The CSV has two columns (with or without a header): cache size in bytes
+// and miss rate in [0, 1].
+func cmdFit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	withCI := fs.Bool("ci", false, "add a 90% bootstrap confidence interval")
+	project := fs.Bool("project", true, "project core scaling with the fitted α")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fit: need exactly one CSV file")
+	}
+	points, err := readCurveCSV(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := fit.PowerLaw(points)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "points        : %d\n", res.N)
+	fmt.Fprintf(out, "fitted α      : %.4f\n", res.Alpha)
+	fmt.Fprintf(out, "m0 @ %.0f B   : %.5f\n", res.C0, res.M0)
+	fmt.Fprintf(out, "R²            : %.5f\n", res.R2)
+	fmt.Fprintf(out, "conforms      : %v (threshold R² ≥ %.2f)\n", res.Conforms(), fit.ConformanceR2)
+	if *withCI {
+		boot, err := fit.Bootstrap(points, 500, 0.9, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "90%% CI on α   : [%.4f, %.4f]\n", boot.AlphaLo, boot.AlphaHi)
+	}
+	if !*project {
+		return nil
+	}
+	if res.Alpha <= 0 || res.Alpha > 1.5 {
+		fmt.Fprintf(out, "\nα outside the model's (0, 1.5] range; skipping projection\n")
+		return nil
+	}
+	solver, err := bandwall.NewSolver(bandwall.Baseline(), res.Alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ncore scaling projection (constant envelope, baseline 8+8 CEAs):\n")
+	for _, g := range bandwall.Generations(16, 4) {
+		cores, err := solver.MaxCores(bandwall.Combine(), g.N, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-16s %4d cores (ideal %g)\n", g.String(), cores, solver.ProportionalCores(g.N))
+	}
+	return nil
+}
+
+// readCurveCSV parses (sizeBytes, missRate) rows, skipping a header line
+// if the first row does not parse as numbers.
+func readCurveCSV(path string) ([]cachesim.CurvePoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = 2
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("fit: %s: %w", path, err)
+	}
+	var points []cachesim.CurvePoint
+	for i, row := range rows {
+		size, err1 := strconv.ParseFloat(row[0], 64)
+		miss, err2 := strconv.ParseFloat(row[1], 64)
+		if err1 != nil || err2 != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("fit: %s row %d: not numeric: %v", path, i+1, row)
+		}
+		if size <= 0 || miss < 0 || miss > 1 {
+			return nil, fmt.Errorf("fit: %s row %d: need size > 0 and miss in [0,1], got %v", path, i+1, row)
+		}
+		const scale = 1 << 30 // synthesize counters at high resolution
+		points = append(points, cachesim.CurvePoint{
+			SizeBytes: int(size),
+			Stats:     cachesim.Stats{Accesses: scale, Misses: uint64(miss * scale)},
+		})
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("fit: %s: no data rows", path)
+	}
+	return points, nil
+}

@@ -1,0 +1,261 @@
+// Command bandwall reproduces the evaluation of Rogers et al., "Scaling
+// the Bandwidth Wall" (ISCA 2009), and exposes the underlying analytical
+// model for custom what-if questions.
+//
+// Usage:
+//
+//	bandwall list
+//	bandwall run [-quick] [-csv DIR] <experiment-id>... | all
+//	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
+//	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
+//	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
+//
+// Technique SPECs look like "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4"; see
+// bandwall.ParseStack for the grammar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/bandwall"
+	"repro/internal/exp"
+	"repro/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bandwall:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(out)
+	case "run":
+		return cmdRun(args[1:], out)
+	case "cores":
+		return cmdCores(args[1:], out)
+	case "traffic":
+		return cmdTraffic(args[1:], out)
+	case "sweep":
+		return cmdSweep(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
+	case "report":
+		return cmdReport(args[1:], out)
+	case "selftest":
+		return cmdSelftest(out)
+	case "fit":
+		return cmdFit(args[1:], out)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bandwall — "Scaling the Bandwidth Wall" (ISCA'09) reproduction
+
+subcommands:
+  list      list every figure/table reproduction
+  run       run reproductions:  run [-quick] [-csv DIR] fig02 fig15 | all
+  cores     supportable cores:  cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8"
+  traffic   relative traffic:   traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
+  sweep     generation sweep:   sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8"
+  trace     trace files:        trace gen|stats|sim (see trace -h)
+  report    run everything and emit a Markdown report
+  selftest  verify every pinned paper number in seconds
+  fit       fit α to a miss-curve CSV and project core scaling
+`)
+}
+
+func cmdList(out io.Writer) error {
+	tb := &render.Table{
+		Title:   "Registered reproductions (paper order)",
+		Headers: []string{"id", "title"},
+	}
+	for _, e := range bandwall.Experiments() {
+		tb.AddRow(e.ID, e.Title)
+	}
+	fmt.Fprint(out, tb.String())
+	return nil
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduce simulation fidelity for speed")
+	csvDir := fs.String("csv", "", "also write each experiment's tables as CSV into DIR")
+	jobs := fs.Int("jobs", 4, "parallel workers for 'run all'")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("run: need experiment ids or 'all'")
+	}
+	opts := exp.Options{Quick: *quick}
+	var results []*exp.Result
+	if len(ids) == 1 && ids[0] == "all" {
+		var err error
+		results, err = exp.RunAllParallel(opts, *jobs)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, id := range ids {
+			r, err := bandwall.RunExperiment(id, *quick)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range results {
+			fmt.Fprintln(out, r.String())
+		}
+	}
+	if *csvDir != "" {
+		for _, r := range results {
+			if err := writeCSV(*csvDir, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, r *exp.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tb := range r.Tables {
+		name := fmt.Sprintf("%s_%d.csv", r.ID, i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(tb.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// modelFlags holds the flags shared by cores/traffic/sweep.
+type modelFlags struct {
+	alpha *float64
+	tech  *string
+}
+
+func addModelFlags(fs *flag.FlagSet) modelFlags {
+	return modelFlags{
+		alpha: fs.Float64("alpha", bandwall.AlphaDefault, "workload cache sensitivity α"),
+		tech:  fs.String("tech", "", `technique spec, e.g. "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4"`),
+	}
+}
+
+func (m modelFlags) build() (bandwall.Solver, bandwall.Stack, error) {
+	s, err := bandwall.NewSolver(bandwall.Baseline(), *m.alpha)
+	if err != nil {
+		return bandwall.Solver{}, bandwall.Stack{}, err
+	}
+	st, err := bandwall.ParseStack(*m.tech)
+	if err != nil {
+		return bandwall.Solver{}, bandwall.Stack{}, err
+	}
+	return s, st, nil
+}
+
+func cmdCores(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cores", flag.ContinueOnError)
+	n2 := fs.Float64("n2", 32, "total chip area in CEAs")
+	budget := fs.Float64("budget", 1, "traffic budget B relative to the baseline")
+	mf := addModelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, st, err := mf.build()
+	if err != nil {
+		return err
+	}
+	cores, err := s.MaxCores(st, *n2, *budget)
+	if err != nil {
+		return err
+	}
+	exact, err := s.SupportableCores(st, *n2, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "configuration : %s (α=%g)\n", st.Label(), s.Alpha())
+	fmt.Fprintf(out, "chip          : %g CEAs, traffic budget %gx baseline\n", *n2, *budget)
+	fmt.Fprintf(out, "cores         : %d (exact %.3f)\n", cores, exact)
+	fmt.Fprintf(out, "proportional  : %g\n", s.ProportionalCores(*n2))
+	areaPct := 100 * exact * st.Params().CoreArea / *n2
+	fmt.Fprintf(out, "core die area : %.1f%%\n", areaPct)
+	return nil
+}
+
+func cmdTraffic(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traffic", flag.ContinueOnError)
+	p2 := fs.Float64("p2", 12, "cores in the new configuration")
+	c2 := fs.Float64("c2", 20, "cache CEAs in the new configuration")
+	mf := addModelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, st, err := mf.build()
+	if err != nil {
+		return err
+	}
+	n2 := *p2 + *c2
+	m := s.Traffic(st, n2, *p2)
+	fmt.Fprintf(out, "configuration : %s (α=%g)\n", st.Label(), s.Alpha())
+	fmt.Fprintf(out, "chip          : P2=%g cores, C2=%g cache CEAs (N2=%g)\n", *p2, *c2, n2)
+	fmt.Fprintf(out, "traffic M2/M1 : %.4f\n", m)
+	return nil
+}
+
+func cmdSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	gens := fs.Int("gens", 4, "number of future generations (area doubles each)")
+	budget := fs.Float64("budget", 1, "per-generation traffic growth budget")
+	mf := addModelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, st, err := mf.build()
+	if err != nil {
+		return err
+	}
+	pts, err := s.SweepGenerations(st, bandwall.Generations(s.Base().N(), *gens), *budget)
+	if err != nil {
+		return err
+	}
+	tb := &render.Table{
+		Title:   fmt.Sprintf("Generation sweep: %s (α=%g, budget %gx/gen)", st.Label(), s.Alpha(), *budget),
+		Headers: []string{"generation", "CEAs", "cores", "exact", "% area", "proportional"},
+	}
+	for _, p := range pts {
+		tb.AddRow(p.Gen.String(), p.Gen.N, p.Cores, p.ExactCores, 100*p.AreaFraction, p.Proportional)
+	}
+	fmt.Fprint(out, tb.String())
+	return nil
+}

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestNoSubcommand(t *testing.T) {
+	if _, err := runCapture(t); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if _, err := runCapture(t, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if _, err := runCapture(t, "help"); err != nil {
+		t.Errorf("help errored: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := runCapture(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig01", "fig16", "table2", "ext-hetero", "abl-model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestCores(t *testing.T) {
+	out, err := runCapture(t, "cores", "-n2", "256", "-tech", "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cores         : 183") {
+		t.Errorf("cores output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "71.8%") {
+		t.Errorf("area output wrong:\n%s", out)
+	}
+}
+
+func TestCoresBadTech(t *testing.T) {
+	if _, err := runCapture(t, "cores", "-tech", "Nope=1"); err == nil {
+		t.Error("bad technique spec accepted")
+	}
+}
+
+func TestCoresBadAlpha(t *testing.T) {
+	if _, err := runCapture(t, "cores", "-alpha", "-1"); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	// The §4.2 worked example: 12 cores, 4 cache CEAs ⇒ 2.6x traffic.
+	out, err := runCapture(t, "traffic", "-p2", "12", "-c2", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2.5981") {
+		t.Errorf("traffic output wrong:\n%s", out)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out, err := runCapture(t, "sweep", "-tech", "DRAM=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "16x (256 CEAs)") || !strings.Contains(out, "47") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+}
+
+func TestRunExperimentAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runCapture(t, "run", "-quick", "-csv", dir, "fig02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cores@B=1") {
+		t.Errorf("run output wrong:\n%s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig02_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "cores,") {
+		t.Errorf("csv content wrong: %s", csv)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := runCapture(t, "run", "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if _, err := runCapture(t, "run"); err == nil {
+		t.Error("run without ids accepted")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bwt")
+	out, err := runCapture(t, "trace", "gen", "-out", path, "-n", "50000", "-alpha", "0.5", "-footprint", "65536")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 50000 accesses") {
+		t.Errorf("gen output wrong:\n%s", out)
+	}
+	out, err = runCapture(t, "trace", "stats", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "accesses") || !strings.Contains(out, "50000") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+	out, err = runCapture(t, "trace", "sim", "-size", "262144", "-warmup", "10000", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "miss rate") {
+		t.Errorf("sim output wrong:\n%s", out)
+	}
+	out, err = runCapture(t, "trace", "sim", "-size", "262144", "-sweep", "-warmup", "10000", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fitted α") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := runCapture(t, "trace"); err == nil {
+		t.Error("bare trace accepted")
+	}
+	if _, err := runCapture(t, "trace", "bogus"); err == nil {
+		t.Error("unknown trace subcommand accepted")
+	}
+	if _, err := runCapture(t, "trace", "gen"); err == nil {
+		t.Error("gen without -out accepted")
+	}
+	if _, err := runCapture(t, "trace", "stats"); err == nil {
+		t.Error("stats without file accepted")
+	}
+	if _, err := runCapture(t, "trace", "stats", "/nonexistent/file"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := runCapture(t, "trace", "sim", "/nonexistent/file"); err == nil {
+		t.Error("sim on missing file accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := runCapture(t, "run", "-quick", "-json", "fig02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"id": "fig02"`) || !strings.Contains(out, `"cores@B=1": 11`) {
+		t.Errorf("json output wrong:\n%s", out)
+	}
+}
+
+func TestReport(t *testing.T) {
+	out, err := runCapture(t, "report", "-quick", "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Bandwidth-wall reproduction report",
+		"## fig16 —",
+		"| combination |",
+		"## abl-eq5 —",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	out, err := runCapture(t, "selftest")
+	if err != nil {
+		t.Fatalf("selftest failed:\n%s\n%v", out, err)
+	}
+	if !strings.Contains(out, "all 22 checks pass") {
+		t.Errorf("selftest output:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("selftest reported failures:\n%s", out)
+	}
+}
+
+func TestFitSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "curve.csv")
+	// An exact α = 0.5 curve.
+	csv := "size,miss\n"
+	for c := 32768; c <= 4194304; c *= 2 {
+		m := 0.2 * math.Sqrt(32768.0/float64(c))
+		csv += fmt.Sprintf("%d,%.6f\n", c, m)
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "fit", "-ci", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fitted α      : 0.5000") {
+		t.Errorf("fit output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "24 cores") {
+		t.Errorf("projection missing:\n%s", out)
+	}
+	if !strings.Contains(out, "90% CI") {
+		t.Errorf("CI missing:\n%s", out)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := runCapture(t, "fit"); err == nil {
+		t.Error("no file accepted")
+	}
+	if _, err := runCapture(t, "fit", "/nonexistent.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("size,miss\n100,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "fit", bad); err == nil {
+		t.Error("miss rate > 1 accepted")
+	}
+	headerOnly := filepath.Join(dir, "h.csv")
+	if err := os.WriteFile(headerOnly, []byte("size,miss\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "fit", headerOnly); err == nil {
+		t.Error("header-only file accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/bandwall"
+)
+
+// selfCheck is one pinned paper number.
+type selfCheck struct {
+	name string
+	spec string  // technique stack
+	n2   float64 // chip CEAs
+	want int     // paper's core count
+}
+
+// selfChecks pins every integer the paper reports that the model must
+// reproduce exactly.
+var selfChecks = []selfCheck{
+	{"Fig 2: constant envelope, next gen", "", 32, 11},
+	{"Fig 3: constant envelope @16x", "", 256, 24},
+	{"Fig 4: cache compression 2x", "CC=2", 32, 13},
+	{"Fig 5: DRAM 4x (proportional)", "DRAM=4", 32, 16},
+	{"Fig 5: DRAM 8x", "DRAM=8", 32, 18},
+	{"Fig 5: DRAM 16x", "DRAM=16", 32, 21},
+	{"Fig 6: 3D SRAM die", "3D", 32, 14},
+	{"Fig 6: 3D DRAM die 8x", "3D=8", 32, 25},
+	{"Fig 6: 3D DRAM die 16x", "3D=16", 32, 32},
+	{"Fig 7: filtering 40%", "Fltr=0.4", 32, 12},
+	{"Fig 9: link compression 2x", "LC=2", 32, 16},
+	{"Fig 10: sectored 40%", "Sect=0.4", 32, 14},
+	{"Fig 11: small lines 40%", "SmCl=0.4", 32, 16},
+	{"Fig 12: cache+link 2x", "CC/LC=2", 32, 18},
+	{"Fig 15: DRAM @16x", "DRAM=8", 256, 47},
+	{"Fig 15: LC @16x", "LC=2", 256, 38},
+	{"Fig 15: CC @16x", "CC=2", 256, 30},
+	{"Fig 16: all combined @16x", "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4", 256, 183},
+}
+
+// cmdSelftest verifies the pinned numbers and reports pass/fail — a
+// seconds-long release sanity check (the full `go test ./...` covers far
+// more, but needs a Go toolchain).
+func cmdSelftest(out io.Writer) error {
+	s := bandwall.DefaultSolver()
+	failures := 0
+	for _, c := range selfChecks {
+		st, err := bandwall.ParseStack(c.spec)
+		if err != nil {
+			return err
+		}
+		got, err := s.MaxCores(st, c.n2, 1)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if got != c.want {
+			status = fmt.Sprintf("FAIL (got %d)", got)
+			failures++
+		}
+		fmt.Fprintf(out, "%-36s want %3d cores ... %s\n", c.name, c.want, status)
+	}
+	// Fig 13 break-evens.
+	for _, tc := range []struct {
+		cores float64
+		want  float64
+	}{{16, 0.40}, {32, 0.63}, {64, 0.77}, {128, 0.86}} {
+		fsh, err := s.BreakEvenSharing(2*tc.cores, tc.cores, 1)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if diff := fsh - tc.want; diff > 0.015 || diff < -0.015 {
+			status = fmt.Sprintf("FAIL (got %.3f)", fsh)
+			failures++
+		}
+		fmt.Fprintf(out, "Fig 13: break-even f_sh @%3g cores    want %.2f ... %s\n", tc.cores, tc.want, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("selftest: %d checks failed", failures)
+	}
+	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4)
+	return nil
+}

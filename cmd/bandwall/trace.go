@@ -1,0 +1,166 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/bandwall"
+	"repro/internal/render"
+	"repro/internal/trace"
+)
+
+// cmdTrace dispatches the trace-file tooling:
+//
+//	trace gen   -out FILE [-alpha A] [-n N] [-footprint LINES] [-writes W] [-seed S]
+//	trace stats FILE
+//	trace sim   FILE [-size BYTES] [-line BYTES] [-assoc W] [-warmup N]
+func cmdTrace(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("trace: need gen, stats, or sim")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdTraceGen(args[1:], out)
+	case "stats":
+		return cmdTraceStats(args[1:], out)
+	case "sim":
+		return cmdTraceSim(args[1:], out)
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q", args[0])
+	}
+}
+
+func cmdTraceGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace gen", flag.ContinueOnError)
+	outPath := fs.String("out", "", "output trace file (required)")
+	alpha := fs.Float64("alpha", 0.5, "power-law exponent of the generated workload")
+	n := fs.Int("n", 1_000_000, "number of accesses")
+	footprint := fs.Int("footprint", 1<<18, "initial footprint in 64B lines")
+	writes := fs.Float64("writes", 0.3, "write fraction (applied per line)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("trace gen: -out is required")
+	}
+	gen, err := bandwall.NewStackDistance(bandwall.StackDistanceConfig{
+		Alpha:          *alpha,
+		HotLines:       256,
+		FootprintLines: *footprint,
+		WriteFraction:  *writes,
+		WritesPerLine:  true,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+	accesses := bandwall.CollectTrace(gen, *n)
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, accesses); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d accesses (α=%g) to %s (%d bytes, %.2f B/access)\n",
+		*n, *alpha, *outPath, info.Size(), float64(info.Size())/float64(*n))
+	return nil
+}
+
+func loadTrace(path string) ([]trace.Access, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func cmdTraceStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace stats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace stats: need exactly one trace file")
+	}
+	accesses, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := trace.Measure(accesses)
+	tb := &render.Table{Title: "Trace statistics: " + fs.Arg(0), Headers: []string{"metric", "value"}}
+	tb.AddRow("accesses", st.Accesses)
+	tb.AddRow("writes", st.Writes)
+	tb.AddRow("write fraction", st.WriteFraction())
+	tb.AddRow("threads", st.Threads)
+	tb.AddRow("footprint (64B lines)", st.Lines)
+	tb.AddRow("footprint (MB)", float64(st.FootprintBytes())/(1<<20))
+	tb.AddRow("address range", fmt.Sprintf("%#x – %#x", st.MinAddr, st.MaxAddr))
+	fmt.Fprint(out, tb.String())
+	return nil
+}
+
+func cmdTraceSim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace sim", flag.ContinueOnError)
+	size := fs.Int("size", 1<<20, "cache size in bytes")
+	line := fs.Int("line", 64, "line size in bytes")
+	assoc := fs.Int("assoc", 8, "associativity (0 = fully associative)")
+	warmup := fs.Int("warmup", 0, "accesses to exclude from statistics")
+	sweep := fs.Bool("sweep", false, "sweep sizes 32KB..size and fit α")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace sim: need exactly one trace file")
+	}
+	accesses, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := bandwall.CacheConfig{
+		SizeBytes: *size, LineBytes: *line, Assoc: *assoc,
+		Policy: bandwall.LRU, WriteBack: true, WriteAllocate: true,
+	}
+	if !*sweep {
+		c, err := bandwall.NewCache(cfg)
+		if err != nil {
+			return err
+		}
+		st := bandwall.RunTrace(c, accesses, *warmup)
+		tb := &render.Table{Title: "Simulation result", Headers: []string{"metric", "value"}}
+		tb.AddRow("accesses", st.Accesses)
+		tb.AddRow("miss rate", st.MissRate())
+		tb.AddRow("write-back ratio", st.WriteBackRatio())
+		tb.AddRow("traffic bytes", st.TrafficBytes())
+		fmt.Fprint(out, tb.String())
+		return nil
+	}
+	sizes := bandwall.PowerOfTwoSizes(32*1024, *size)
+	pts, err := bandwall.MissCurve(accesses, cfg, sizes, *warmup)
+	if err != nil {
+		return err
+	}
+	tb := &render.Table{Title: "Miss curve", Headers: []string{"size", "miss rate", "wb ratio"}}
+	for _, p := range pts {
+		tb.AddRow(p.SizeBytes, p.MissRate(), p.Stats.WriteBackRatio())
+	}
+	fmt.Fprint(out, tb.String())
+	pl, err := bandwall.FitPowerLaw(pts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fitted α = %.3f (R² = %.4f, conforms: %v)\n", pl.Alpha, pl.R2, pl.Conforms())
+	return nil
+}

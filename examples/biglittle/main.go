@@ -1,0 +1,77 @@
+// Biglittle: the heterogeneous design space the paper defers.
+//
+// §3 notes that "a heterogeneous CMP has the potential of being more area
+// efficient overall" but excludes it from the model. This example uses the
+// library's extension: core classes with their own area, traffic, and
+// performance, cache partitioned optimally across classes (water-filling),
+// and a search for the best big+little mix under the traffic envelope.
+//
+//	go run ./examples/biglittle
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/bandwall"
+)
+
+func main() {
+	big := bandwall.CoreClass{Name: "big", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
+	little := bandwall.CoreClass{
+		Name:          "little",
+		AreaCEA:       0.25, // quarter of a baseline tile
+		TrafficWeight: 0.3,  // no speculative bandwidth waste
+		PerfWeight:    0.5,  // half the single-thread performance
+	}
+	const (
+		alpha  = 0.5
+		die    = 32.0 // next-generation die, as in Fig 2
+		budget = 8.0  // the baseline chip's traffic (8 cores × 1 × 1^-α)
+	)
+
+	fmt.Println("Filling a 32-CEA die under the baseline traffic envelope:")
+	fmt.Printf("%10s %10s %12s %10s %12s\n", "big", "little", "cache CEAs", "traffic", "throughput")
+	for _, pb := range []float64{0, 2, 4, 6, 8, 11} {
+		pl, err := bandwall.HeteroMaxSecondary(big, little, pb, die, budget, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl = math.Floor(pl)
+		ch := bandwall.HeteroChip{
+			Classes:   []bandwall.CoreClass{big, little},
+			Counts:    []float64{pb, pl},
+			CacheCEAs: die - pb*big.AreaCEA - pl*little.AreaCEA,
+			Alpha:     alpha,
+		}
+		traffic, err := ch.Traffic()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10g %10g %12g %10.3f %12.2f\n", pb, pl, ch.CacheCEAs, traffic, ch.Throughput())
+	}
+
+	best, err := bandwall.HeteroBestMix(big, little, die, budget, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest mix: %g big + %g little = %.2f baseline-cores of throughput\n",
+		best.Counts[0], best.Counts[1], best.Throughput)
+	fmt.Println("homogeneous reference (Fig 2): 11 cores = 11.00")
+
+	// How the optimal cache partition treats the two classes.
+	ch := bandwall.HeteroChip{
+		Classes:   []bandwall.CoreClass{big, little},
+		Counts:    []float64{4, 14},
+		CacheCEAs: die - 4 - 14*0.25,
+		Alpha:     alpha,
+	}
+	part, err := ch.OptimalPartition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwater-filling on a 4-big + 14-little chip: big gets %.2f CEAs/core, little %.2f\n",
+		part[0], part[1])
+	fmt.Println("(cache per core scales as trafficWeight^(1/(1+α)) — heavier traffic earns more cache, sublinearly)")
+}

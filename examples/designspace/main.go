@@ -1,0 +1,66 @@
+// Designspace: explore die allocation for a next-generation chip.
+//
+// For a chip architect the bandwidth-wall question is concrete: given N
+// CEAs of die and a traffic budget, where is the biggest balanced core
+// count, how does traffic grow past it, and what would the memory channel
+// do to throughput if we overshoot? This example sweeps core counts on a
+// 32-CEA die (Fig 2's setting), finds the envelope intersections, and uses
+// the queueing model to show the post-wall throughput plateau.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bandwall"
+)
+
+func main() {
+	solver := bandwall.DefaultSolver()
+	const n2 = 32.0
+
+	fmt.Println("Die allocation sweep on a 32-CEA next-generation chip (α = 0.5):")
+	fmt.Printf("%8s %12s %12s %14s\n", "cores", "cache CEAs", "S2", "traffic M2/M1")
+	for p := 4.0; p <= 28; p += 4 {
+		m := solver.Traffic(bandwall.Combine(), n2, p)
+		fmt.Printf("%8g %12g %12.3f %14.3f\n", p, n2-p, (n2-p)/p, m)
+	}
+
+	for _, budget := range []float64{1.0, 1.25, 1.5, 2.0} {
+		cores, err := solver.MaxCores(bandwall.Combine(), n2, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntraffic budget %.2fx baseline -> %d balanced cores", budget, cores)
+	}
+	fmt.Println()
+
+	// What happens if we ignore the wall and build 24 cores anyway? Feed
+	// the model's per-core traffic into the channel model.
+	channel, err := bandwall.NewMemoryChannel(42e9, 64, 60e-9) // Niagara2-like
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Calibrate: the 11-core balanced design saturates ~80% of the channel.
+	balanced, err := solver.SupportableCores(bandwall.Combine(), n2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perCoreAtBalanced := 0.8 * 42e9 / balanced
+	fmt.Println("\nOvershooting the envelope (channel: 42 GB/s, 64B bursts):")
+	fmt.Printf("%8s %14s %16s %18s\n", "cores", "demand GB/s", "latency (ns)", "chip throughput")
+	for _, p := range []float64{8, 11, 16, 20, 24, 28} {
+		// Per-core traffic grows as the cache share shrinks.
+		perCore := perCoreAtBalanced * solver.Traffic(bandwall.Combine(), n2, p) / (p / balanced) / solver.Traffic(bandwall.Combine(), n2, balanced)
+		demand := p * perCore
+		lat := channel.Latency(demand)
+		latStr := fmt.Sprintf("%.1f", lat*1e9)
+		if lat > 1 {
+			latStr = "saturated"
+		}
+		fmt.Printf("%8g %14.1f %16s %18.2f\n", p, demand/1e9, latStr, channel.ChipThroughput(p, perCore))
+	}
+	fmt.Println("\ncores beyond the knee add queueing delay, not throughput — the bandwidth wall.")
+}

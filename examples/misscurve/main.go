@@ -1,0 +1,82 @@
+// Misscurve: the end-to-end measurement pipeline.
+//
+// A downstream user's workflow: characterize a workload's cache
+// sensitivity by simulation (miss rate vs cache size → fitted α), then feed
+// the measured α into the analytical model to project how the workload
+// scales on future CMPs — exactly how the paper connects Fig 1 to the rest
+// of its evaluation.
+//
+//	go run ./examples/misscurve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bandwall"
+)
+
+func main() {
+	// 1. A synthetic "application" whose locality we pretend not to know.
+	gen, err := bandwall.NewStackDistance(bandwall.StackDistanceConfig{
+		Alpha:          0.42, // hidden ground truth
+		HotLines:       256,
+		FootprintLines: 1 << 19,
+		WriteFraction:  0.3,
+		WritesPerLine:  true,
+		Seed:           1337,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := bandwall.CollectTrace(gen, 1_000_000)
+	stats := bandwall.MeasureTrace(tr)
+	fmt.Printf("trace: %d accesses, %.0f%% writes, footprint %.1f MB\n",
+		stats.Accesses, 100*stats.WriteFraction(), float64(stats.FootprintBytes())/(1<<20))
+
+	// 2. Measure the miss curve on an L2-style cache sweep.
+	sizes := bandwall.PowerOfTwoSizes(32*1024, 2*1024*1024)
+	pts, err := bandwall.MissCurve(tr, bandwall.CacheConfig{
+		LineBytes: 64, Assoc: 8, Policy: bandwall.LRU,
+		WriteBack: true, WriteAllocate: true,
+	}, sizes, 250_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmiss curve:")
+	for _, p := range pts {
+		fmt.Printf("  %6d KB: miss rate %.4f, write-back ratio %.3f\n",
+			p.SizeBytes/1024, p.MissRate(), p.Stats.WriteBackRatio())
+	}
+
+	// 3. Fit the power law.
+	pl, err := bandwall.FitPowerLaw(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted: α = %.3f (R² = %.4f, conforms: %v)\n", pl.Alpha, pl.R2, pl.Conforms())
+
+	// 4. Project CMP scaling for this workload.
+	solver, err := bandwall.NewSolver(bandwall.Baseline(), pl.Alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprojection under a constant traffic envelope:")
+	for _, st := range []bandwall.Stack{
+		bandwall.Combine(),
+		bandwall.Combine(bandwall.DRAMCache{Density: 8}),
+		bandwall.Combine(bandwall.CacheLinkCompression{Ratio: 2}, bandwall.DRAMCache{Density: 8},
+			bandwall.ThreeDCache{LayerDensity: 1}, bandwall.SmallCacheLines{Unused: 0.4}),
+	} {
+		fmt.Printf("  %-28s", st.Label())
+		for _, g := range bandwall.Generations(16, 4) {
+			c, err := solver.MaxCores(st, g.N, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d", c)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (columns: 2x, 4x, 8x, 16x the baseline area)")
+}

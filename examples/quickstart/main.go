@@ -1,0 +1,55 @@
+// Quickstart: the paper's headline result in a dozen lines.
+//
+// Starting from a balanced 8-core CMP (8 cores + 8 cache CEAs, α = 0.5),
+// how many cores fit under a constant memory-traffic envelope four
+// technology generations out — and how much do bandwidth conservation
+// techniques buy back?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bandwall"
+)
+
+func main() {
+	solver := bandwall.DefaultSolver()
+	const n16x = 256 // CEAs four generations out (16x the 16-CEA baseline)
+
+	base, err := solver.MaxCores(bandwall.Combine(), n16x, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dram, err := solver.MaxCores(bandwall.Combine(bandwall.DRAMCache{Density: 8}), n16x, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := bandwall.Combine(
+		bandwall.CacheLinkCompression{Ratio: 2},
+		bandwall.DRAMCache{Density: 8},
+		bandwall.ThreeDCache{LayerDensity: 1},
+		bandwall.SmallCacheLines{Unused: 0.4},
+	)
+	combined, err := solver.MaxCores(all, n16x, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The bandwidth wall, four technology generations out (16x area):")
+	fmt.Printf("  proportional scaling would like : %g cores\n", solver.ProportionalCores(n16x))
+	fmt.Printf("  constant traffic allows          : %d cores\n", base)
+	fmt.Printf("  + DRAM caches (8x density)       : %d cores\n", dram)
+	fmt.Printf("  + all techniques combined        : %d cores (super-proportional)\n", combined)
+	fmt.Println()
+	fmt.Println("Per-generation view of the combined stack:")
+	pts, err := solver.SweepGenerations(all, bandwall.Generations(16, 4), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  %-14s %4d cores (ideal %g)\n", p.Gen.String(), p.Cores, p.Proportional)
+	}
+}

@@ -1,0 +1,71 @@
+// Sharing: the two sides of the paper's data-sharing story.
+//
+// Side 1 (model, Fig 13): how much sharing WOULD proportional scaling need
+// to stay inside a constant traffic envelope?
+// Side 2 (simulation, Fig 14): how much sharing do multithreaded workloads
+// ACTUALLY exhibit as core counts grow?
+//
+// The gap between the two is why the paper concludes data sharing will not
+// rescue CMP scaling without algorithmic rework.
+//
+//	go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bandwall"
+)
+
+func main() {
+	solver := bandwall.DefaultSolver()
+
+	fmt.Println("Required sharing (model): break-even f_sh for proportional scaling")
+	for _, cores := range []float64{16, 32, 64, 128} {
+		fsh, err := solver.BreakEvenSharing(2*cores, cores, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4g cores: f_sh = %5.1f%%\n", cores, 100*fsh)
+	}
+
+	fmt.Println("\nMeasured sharing (simulation): shared-L2 CMP, PARSEC-like workload")
+	fmt.Printf("  %5s %18s %18s\n", "cores", "% shared evicted", "off-chip bytes")
+	for _, cores := range []int{4, 8, 16} {
+		cmp, err := bandwall.NewCMP(bandwall.CMPConfig{
+			Cores: cores,
+			L1: bandwall.CacheConfig{
+				SizeBytes: 16 * 1024, LineBytes: 64, Assoc: 4,
+				Policy: bandwall.LRU, WriteBack: true, WriteAllocate: true,
+			},
+			L2: bandwall.CacheConfig{
+				SizeBytes: 512 * 1024, LineBytes: 64, Assoc: 8,
+				Policy: bandwall.LRU, WriteBack: true, WriteAllocate: true,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := bandwall.NewSharedPrivate(bandwall.SharedPrivateConfig{
+			Threads:          cores,
+			SharedLines:      1 << 13, // fixed shared set
+			PrivateLines:     1 << 13, // per-thread private set
+			SharedAccessFrac: 0.7,
+			Skew:             1.01,
+			WriteFraction:    0.2,
+			Seed:             7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 600_000; i++ {
+			if err := cmp.Access(gen.Next()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sh := cmp.Sharing()
+		fmt.Printf("  %5d %17.1f%% %18d\n", cores, 100*sh.SharedFraction(), cmp.MemoryTrafficBytes())
+	}
+	fmt.Println("\nrequired sharing must GROW with cores; measured sharing SHRINKS — the mismatch of Figs 13 and 14.")
+}

@@ -1,0 +1,87 @@
+// Techniques: compare every bandwidth conservation technique and the
+// paper's combinations across four technology generations (the Fig 15 and
+// Fig 16 view), under all three effectiveness assumptions.
+//
+//	go run ./examples/techniques
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bandwall"
+)
+
+func main() {
+	solver := bandwall.DefaultSolver()
+	gens := bandwall.Generations(16, 4)
+
+	fmt.Println("Individual techniques (pessimistic/realistic/optimistic cores):")
+	fmt.Printf("%-8s", "")
+	for _, g := range gens {
+		fmt.Printf("%16s", g.String())
+	}
+	fmt.Println()
+
+	row := func(name string, at func(g bandwall.Generation) string) {
+		fmt.Printf("%-8s", name)
+		for _, g := range gens {
+			fmt.Printf("%16s", at(g))
+		}
+		fmt.Println()
+	}
+	row("IDEAL", func(g bandwall.Generation) string {
+		return fmt.Sprintf("%g", solver.ProportionalCores(g.N))
+	})
+	row("BASE", func(g bandwall.Generation) string {
+		c, err := solver.MaxCores(bandwall.Combine(), g.N, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%d", c)
+	})
+	for _, entry := range bandwall.TechniqueCatalog() {
+		entry := entry
+		row(entry.Label, func(g bandwall.Generation) string {
+			var triple [3]int
+			for i, a := range []bandwall.Assumption{bandwall.Pessimistic, bandwall.Realistic, bandwall.Optimistic} {
+				c, err := solver.MaxCores(bandwall.Combine(entry.New(a)), g.N, 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				triple[i] = c
+			}
+			return fmt.Sprintf("%d/%d/%d", triple[0], triple[1], triple[2])
+		})
+	}
+
+	fmt.Println("\nCombinations (realistic assumptions), cores at each generation:")
+	for _, st := range bandwall.Fig16Combos(bandwall.Realistic) {
+		fmt.Printf("%-28s", st.Label())
+		for _, g := range gens {
+			c, err := solver.MaxCores(st, g.N, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d", c)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nCustom stacks via the spec parser:")
+	for _, spec := range []string{
+		"LC=2",
+		"CC/LC=2 + DRAM=8",
+		"CC/LC=2 + DRAM=8 + 3D + SmCl=0.4",
+	} {
+		st, err := bandwall.ParseStack(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := solver.MaxCores(st, 256, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-36q -> %3d cores @16x\n", spec, c)
+	}
+}

@@ -1,0 +1,89 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchTrace builds a deterministic access mix with locality.
+func benchTrace(n int, lines uint64) []trace.Access {
+	out := make([]trace.Access, n)
+	x := uint64(0xabcdef)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = trace.Access{Addr: (x % lines) * 64, Write: x&7 == 0}
+	}
+	return out
+}
+
+func benchCache(b *testing.B, cfg Config) {
+	b.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(1<<16, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkAccessLRU8Way(b *testing.B) {
+	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true})
+}
+
+func BenchmarkAccessPLRU8Way(b *testing.B) {
+	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: PLRU, WriteBack: true, WriteAllocate: true})
+}
+
+func BenchmarkAccessDirectMapped(b *testing.B) {
+	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 1, Policy: LRU, WriteBack: true, WriteAllocate: true})
+}
+
+func BenchmarkAccessSectored(b *testing.B) {
+	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true, SectorBytes: 8})
+}
+
+func BenchmarkAccessCompressed(b *testing.B) {
+	c, err := NewCompressed(Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		func(addr uint64) int { return 16 + int(addr%48) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(1<<16, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := NewHierarchy(
+		Config{SizeBytes: 32 * 1024, LineBytes: 64, Assoc: 4, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(1<<16, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(tr[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkMissCurveSweep(b *testing.B) {
+	tr := benchTrace(1<<17, 1<<14)
+	sizes := PowerOfTwoSizes(64*1024, 1<<20)
+	base := Config{LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MissCurve(tr, base, sizes, 1<<15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

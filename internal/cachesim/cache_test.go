@@ -1,0 +1,454 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func smallLRU(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, // fully associative, 4 lines
+		Policy: LRU, WriteBack: true, WriteAllocate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func read(addr uint64) trace.Access  { return trace.Access{Addr: addr} }
+func write(addr uint64) trace.Access { return trace.Access{Addr: addr, Write: true} }
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4, Policy: LRU}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64},
+		{SizeBytes: 100, LineBytes: 64},                        // not a multiple
+		{SizeBytes: 1024, LineBytes: 0},                        //
+		{SizeBytes: 1024, LineBytes: 48},                       // not a power of two
+		{SizeBytes: 1024, LineBytes: 64, Assoc: -1},            //
+		{SizeBytes: 64 * 6, LineBytes: 64, Assoc: 4},           // 6 lines not /4
+		{SizeBytes: 64 * 12, LineBytes: 64, Assoc: 4},          // 3 sets not pow2
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 4, Policy: 99}, // unknown policy
+		{SizeBytes: 64 * 12, LineBytes: 64, Assoc: 3, Policy: PLRU},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 4, SectorBytes: 48},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 4, SectorBytes: 128},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8}
+	if cfg.Lines() != 16384 {
+		t.Errorf("Lines = %d", cfg.Lines())
+	}
+	if cfg.Sets() != 2048 {
+		t.Errorf("Sets = %d", cfg.Sets())
+	}
+	full := Config{SizeBytes: 1024, LineBytes: 64, Assoc: 0}
+	if full.Sets() != 1 {
+		t.Errorf("fully-assoc Sets = %d", full.Sets())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{LRU: "LRU", FIFO: "FIFO", Random: "Random", PLRU: "PLRU"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Policy(42).String() == "" {
+		t.Error("unknown policy must stringify")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := smallLRU(t)
+	if res := c.Access(read(0)); res.Hit {
+		t.Error("first access must miss")
+	}
+	if res := c.Access(read(0)); !res.Hit {
+		t.Error("second access must hit")
+	}
+	if res := c.Access(read(32)); !res.Hit {
+		t.Error("same-line access must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FillBytes != 64 {
+		t.Errorf("FillBytes = %d, want 64", st.FillBytes)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallLRU(t) // 4 lines
+	for i := uint64(0); i < 4; i++ {
+		c.Access(read(i * 64))
+	}
+	c.Access(read(0)) // touch line 0: LRU order now 1,2,3? no: 1 is LRU
+	res := c.Access(read(4 * 64))
+	if res.Hit || !res.Evicted {
+		t.Fatalf("expected evicting miss, got %+v", res)
+	}
+	// Line 1 (the least recently used) must be gone; 0 must survive.
+	if c.Contains(1 * 64) {
+		t.Error("LRU victim (line 1) still resident")
+	}
+	if !c.Contains(0) {
+		t.Error("recently-touched line 0 was evicted")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: FIFO, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		c.Access(read(i * 64))
+	}
+	c.Access(read(0)) // FIFO ignores the touch
+	c.Access(read(4 * 64))
+	if c.Contains(0) {
+		t.Error("FIFO must evict the oldest fill (line 0) despite the touch")
+	}
+	if !c.Contains(1 * 64) {
+		t.Error("line 1 should survive under FIFO")
+	}
+}
+
+func TestRandomEvictsSomething(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: Random, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		c.Access(read(i * 64))
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	resident := 0
+	for i := uint64(0); i < 5; i++ {
+		if c.Contains(i * 64) {
+			resident++
+		}
+	}
+	if resident != 4 {
+		t.Errorf("resident lines = %d, want 4", resident)
+	}
+}
+
+func TestPLRUBehaviour(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 4, Policy: PLRU, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		c.Access(read(i * 64))
+	}
+	// The most recently touched line must never be the PLRU victim.
+	c.Access(read(3 * 64))
+	c.Access(read(4 * 64)) // evicts someone, but not line 3
+	if !c.Contains(3 * 64) {
+		t.Error("PLRU evicted the most recently used line")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestWriteBackTraffic(t *testing.T) {
+	c := smallLRU(t) // 4 lines, write-back
+	c.Access(write(0))
+	for i := uint64(1); i < 5; i++ {
+		c.Access(read(i * 64)) // line 0 becomes LRU and is evicted dirty
+	}
+	st := c.Stats()
+	if st.WriteBacks != 1 {
+		t.Errorf("write backs = %d, want 1", st.WriteBacks)
+	}
+	if st.WriteBackBytes != 64 {
+		t.Errorf("write-back bytes = %d, want 64", st.WriteBackBytes)
+	}
+	// Clean evictions must not write back.
+	c2 := smallLRU(t)
+	for i := uint64(0); i < 8; i++ {
+		c2.Access(read(i * 64))
+	}
+	if st := c2.Stats(); st.WriteBacks != 0 {
+		t.Errorf("clean evictions wrote back %d times", st.WriteBacks)
+	}
+}
+
+func TestWriteThrough(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: false, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(write(0)) // miss + allocate + write-through
+	c.Access(write(0)) // hit + write-through
+	st := c.Stats()
+	if st.WriteBackBytes != 16 { // two 8-byte word stores
+		t.Errorf("write-through bytes = %d, want 16", st.WriteBackBytes)
+	}
+	if st.FillBytes != 64 {
+		t.Errorf("fill bytes = %d, want 64", st.FillBytes)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: false, WriteAllocate: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(write(0))
+	if c.Contains(0) {
+		t.Error("no-allocate store filled the line")
+	}
+	st := c.Stats()
+	if st.FillBytes != 0 {
+		t.Errorf("fill bytes = %d, want 0", st.FillBytes)
+	}
+	if st.WriteBackBytes == 0 {
+		t.Error("store bytes must cross the boundary")
+	}
+	// Reads still allocate.
+	c.Access(read(64))
+	if !c.Contains(64) {
+		t.Error("read did not allocate")
+	}
+}
+
+func TestSetConflicts(t *testing.T) {
+	// Direct-mapped, 4 sets: addresses 0 and 4*64 collide in set 0.
+	c, err := New(Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 1, Policy: LRU, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(read(0))
+	c.Access(read(4 * 64)) // conflict miss, evicts line 0
+	if c.Contains(0) {
+		t.Error("conflicting line survived in a direct-mapped set")
+	}
+	c.Access(read(64)) // different set, no conflict
+	if !c.Contains(4 * 64) {
+		t.Error("non-conflicting access evicted the line")
+	}
+}
+
+func TestSectoredCache(t *testing.T) {
+	c, err := New(Config{
+		SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU,
+		WriteBack: true, WriteAllocate: true, SectorBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss fetches one 16-byte sector, not the whole line.
+	res := c.Access(read(0))
+	if res.Hit || res.FillBytes != 16 {
+		t.Fatalf("sector fill = %+v, want 16-byte fill", res)
+	}
+	// Same sector: hit.
+	if res := c.Access(read(8)); !res.Hit {
+		t.Error("same-sector access must hit")
+	}
+	// Different sector of the same line: sector miss, 16 more bytes.
+	res = c.Access(read(16))
+	if res.Hit || res.FillBytes != 16 {
+		t.Errorf("sector miss = %+v", res)
+	}
+	if res := c.Access(read(16)); !res.Hit {
+		t.Error("filled sector must now hit")
+	}
+	st := c.Stats()
+	if st.FillBytes != 32 {
+		t.Errorf("total fill = %d, want 32", st.FillBytes)
+	}
+}
+
+func TestSectoredWriteBackOnlyDirtySectors(t *testing.T) {
+	c, err := New(Config{
+		SizeBytes: 1 * 64, LineBytes: 64, Assoc: 0, Policy: LRU,
+		WriteBack: true, WriteAllocate: true, SectorBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(write(0))        // dirty sector 0
+	c.Access(read(16))        // clean sector 1
+	res := c.Access(read(64)) // evicts the line
+	if !res.WroteBack {
+		t.Fatal("dirty line eviction must write back")
+	}
+	if res.WriteBackBytes != 16 {
+		t.Errorf("wrote back %d bytes, want 16 (one dirty sector)", res.WriteBackBytes)
+	}
+}
+
+// TestSectoredTrafficReduction checks the §6.2 claim the Sect technique
+// models: under sparse spatial locality, sector fills move far fewer bytes
+// than whole-line fills at an unchanged(ish) capacity.
+func TestSectoredTrafficReduction(t *testing.T) {
+	mk := func(sector int) *Cache {
+		c, err := New(Config{
+			SizeBytes: 16 * 1024, LineBytes: 64, Assoc: 4, Policy: LRU,
+			WriteBack: true, WriteAllocate: true, SectorBytes: sector,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Touch only the first 8 bytes of each line over a large footprint.
+	accesses := make([]trace.Access, 40000)
+	for i := range accesses {
+		accesses[i] = read(uint64(i%4096) * 64)
+	}
+	whole := RunTrace(mk(0), accesses, 0)
+	sect := RunTrace(mk(8), accesses, 0)
+	if sect.FillBytes*7 > whole.FillBytes {
+		t.Errorf("sectoring saved too little: %d vs %d fill bytes", sect.FillBytes, whole.FillBytes)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := smallLRU(t)
+	c.Access(read(0))
+	c.ResetStats()
+	if st := c.Stats(); st.Accesses != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+	if res := c.Access(read(0)); !res.Hit {
+		t.Error("contents lost on stats reset")
+	}
+}
+
+func TestRunTraceWarmup(t *testing.T) {
+	c := smallLRU(t)
+	accesses := []trace.Access{read(0), read(64), read(0), read(64)}
+	st := RunTrace(c, accesses, 2)
+	if st.Accesses != 2 {
+		t.Errorf("post-warmup accesses = %d, want 2", st.Accesses)
+	}
+	if st.Misses != 0 {
+		t.Errorf("post-warmup misses = %d, want 0 (lines were warmed)", st.Misses)
+	}
+	// Warmup longer than the trace is clamped.
+	c2 := smallLRU(t)
+	st2 := RunTrace(c2, accesses, 100)
+	if st2.Accesses != 0 {
+		t.Errorf("over-long warmup counted accesses: %+v", st2)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Accesses: 100, Misses: 25, WriteBacks: 10, FillBytes: 1600, WriteBackBytes: 640}
+	if s.MissRate() != 0.25 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+	if s.TrafficBytes() != 2240 {
+		t.Errorf("TrafficBytes = %v", s.TrafficBytes())
+	}
+	if s.WriteBackRatio() != 0.4 {
+		t.Errorf("WriteBackRatio = %v", s.WriteBackRatio())
+	}
+	var zero Stats
+	if zero.MissRate() != 0 || zero.WriteBackRatio() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+	var acc Stats
+	acc.Add(s)
+	acc.Add(s)
+	if acc.Accesses != 200 || acc.TrafficBytes() != 4480 {
+		t.Errorf("Add = %+v", acc)
+	}
+}
+
+// TestQuickHitAfterAccess: any address just accessed must be resident
+// (for allocate-on-miss configurations) and hit on immediate re-access.
+func TestQuickHitAfterAccess(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 1 << 14, LineBytes: 64, Assoc: 4, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		{SizeBytes: 1 << 14, LineBytes: 64, Assoc: 8, Policy: PLRU, WriteBack: true, WriteAllocate: true},
+		{SizeBytes: 1 << 14, LineBytes: 64, Assoc: 1, Policy: FIFO, WriteBack: true, WriteAllocate: true},
+		{SizeBytes: 1 << 14, LineBytes: 32, Assoc: 2, Policy: Random, WriteBack: true, WriteAllocate: true},
+	}
+	for _, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(addr uint64, w bool) bool {
+			c.Access(trace.Access{Addr: addr, Write: w})
+			return c.Access(read(addr)).Hit
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v/%d-way: %v", cfg.Policy, cfg.Assoc, err)
+		}
+	}
+}
+
+// TestQuickConservation: hits + misses = accesses, and fills only happen
+// on misses.
+func TestQuickConservation(t *testing.T) {
+	c, err := New(Config{SizeBytes: 1 << 12, LineBytes: 64, Assoc: 2, Policy: LRU, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(read(uint64(a)))
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses &&
+			st.FillBytes == st.Misses*64
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLargerCacheNeverWorseLRU: the LRU inclusion property — on the same
+// trace, a bigger fully-associative LRU cache cannot miss more.
+func TestLargerCacheNeverWorseLRU(t *testing.T) {
+	accesses := make([]trace.Access, 0, 30000)
+	// Deterministic pseudo-random mix with locality.
+	x := uint64(0x12345)
+	for i := 0; i < 30000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		accesses = append(accesses, read((x%4096)*64))
+	}
+	var prev uint64 = ^uint64(0)
+	for _, lines := range []int{64, 128, 256, 512, 1024} {
+		c, err := New(Config{SizeBytes: lines * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: true, WriteAllocate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := RunTrace(c, accesses, 0)
+		if st.Misses > prev {
+			t.Errorf("%d-line cache misses %d > smaller cache's %d (LRU inclusion violated)", lines, st.Misses, prev)
+		}
+		prev = st.Misses
+	}
+}

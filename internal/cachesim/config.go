@@ -1,0 +1,164 @@
+// Package cachesim is a set-associative cache simulator: the measurement
+// substrate behind the paper's Fig 1 (miss rate vs cache size), the §4.2
+// write-back-ratio observation, and the sectored/compressed-cache
+// techniques of §6. It supports LRU/FIFO/Random/tree-PLRU replacement,
+// write-back and write-through policies, sector fills, compressed storage,
+// and two-level hierarchies.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects a replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic xorshift).
+	Random
+	// PLRU evicts via a tree of pseudo-LRU bits (associativity must be a
+	// power of two).
+	PLRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	case PLRU:
+		return "PLRU"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int    // total capacity; must be a multiple of LineBytes·Assoc
+	LineBytes int    // line size, a power of two
+	Assoc     int    // ways per set; 0 selects fully-associative
+	Policy    Policy // replacement policy
+	// WriteBack selects write-back (true) or write-through (false) for
+	// stores. Write-back counts dirty evictions as write-back traffic;
+	// write-through counts every store's bytes.
+	WriteBack bool
+	// WriteAllocate fills the line on a store miss (true) or forwards the
+	// store past the cache (false, only meaningful with write-through).
+	WriteAllocate bool
+	// SectorBytes, when non-zero, fills only the accessed sector on a miss
+	// instead of the whole line (§6.2, sectored caches). Must divide
+	// LineBytes, be a power of two, and allow ≤64 sectors per line.
+	SectorBytes int
+}
+
+// Lines returns the number of lines the cache holds.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets after associativity is resolved.
+func (c Config) Sets() int {
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = c.Lines()
+	}
+	return c.Lines() / assoc
+}
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cachesim: line size must be a positive power of two, got %d", c.LineBytes)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cachesim: size %d must be a positive multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	assoc := c.Assoc
+	if assoc < 0 {
+		return fmt.Errorf("cachesim: associativity must be ≥ 0, got %d", assoc)
+	}
+	if assoc == 0 {
+		assoc = c.Lines()
+	}
+	if c.Lines()%assoc != 0 {
+		return fmt.Errorf("cachesim: %d lines not divisible into %d-way sets", c.Lines(), assoc)
+	}
+	sets := c.Lines() / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d must be a power of two for index hashing", sets)
+	}
+	if c.Policy == PLRU && assoc&(assoc-1) != 0 {
+		return fmt.Errorf("cachesim: PLRU needs power-of-two associativity, got %d", assoc)
+	}
+	if c.Policy < LRU || c.Policy > PLRU {
+		return fmt.Errorf("cachesim: unknown policy %d", c.Policy)
+	}
+	if c.SectorBytes != 0 {
+		if bits.OnesCount(uint(c.SectorBytes)) != 1 || c.LineBytes%c.SectorBytes != 0 {
+			return fmt.Errorf("cachesim: sector size %d must be a power of two dividing line size %d", c.SectorBytes, c.LineBytes)
+		}
+		if c.LineBytes/c.SectorBytes > 64 {
+			return fmt.Errorf("cachesim: more than 64 sectors per line (%d) unsupported", c.LineBytes/c.SectorBytes)
+		}
+	}
+	if !c.WriteBack && c.WriteAllocate {
+		// Legal but unusual; allowed.
+		_ = c
+	}
+	return nil
+}
+
+// Stats accumulates cache behaviour counters.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64 // line misses and (for sectored caches) sector misses
+	Evictions uint64
+	// WriteBacks counts dirty-line (or dirty-sector group) evictions.
+	WriteBacks uint64
+	// FillBytes counts bytes moved into the cache from below.
+	FillBytes uint64
+	// WriteBackBytes counts bytes moved out of the cache to below
+	// (dirty evictions, or store bytes under write-through).
+	WriteBackBytes uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TrafficBytes returns the total off-side traffic: fills plus write backs —
+// the M of the paper's model.
+func (s Stats) TrafficBytes() uint64 { return s.FillBytes + s.WriteBackBytes }
+
+// WriteBackRatio returns write backs per miss — the paper's r_wb (§4.2),
+// observed to be an application-specific constant across cache sizes.
+func (s Stats) WriteBackRatio() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.WriteBacks) / float64(s.Misses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.WriteBacks += other.WriteBacks
+	s.FillBytes += other.FillBytes
+	s.WriteBackBytes += other.WriteBackBytes
+}

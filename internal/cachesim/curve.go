@@ -1,0 +1,91 @@
+package cachesim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// CurvePoint is one (cache size, behaviour) sample of a miss curve.
+type CurvePoint struct {
+	SizeBytes int
+	Stats     Stats
+}
+
+// MissRate returns the point's miss rate.
+func (p CurvePoint) MissRate() float64 { return p.Stats.MissRate() }
+
+// MissCurve replays one trace through a family of caches that differ only
+// in size, producing the raw material of the paper's Fig 1. base supplies
+// every parameter except SizeBytes; warmup accesses are excluded from the
+// returned statistics. The sizes are simulated concurrently — each cache
+// is independent and the trace is only read — so a sweep costs roughly one
+// simulation of wall-clock time on a multicore host.
+func MissCurve(accesses []trace.Access, base Config, sizes []int, warmup int) ([]CurvePoint, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("cachesim: no sizes to sweep")
+	}
+	// Validate every configuration up front so errors surface
+	// deterministically before any goroutine runs.
+	cfgs := make([]Config, len(sizes))
+	for i, sz := range sizes {
+		cfg := base
+		cfg.SizeBytes = sz
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("cachesim: size %d: %w", sz, err)
+		}
+		cfgs[i] = cfg
+	}
+	out := make([]CurvePoint, len(sizes))
+	errs := make([]error, len(sizes))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := New(cfgs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st := RunTrace(c, accesses, warmup)
+			out[i] = CurvePoint{SizeBytes: cfgs[i].SizeBytes, Stats: st}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PowerOfTwoSizes returns cache sizes from lo to hi inclusive, doubling —
+// the geometric x-axis of Fig 1.
+func PowerOfTwoSizes(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// NormalizedMissRates divides each point's miss rate by the first point's,
+// matching Fig 1's "normalized miss rate" y-axis.
+func NormalizedMissRates(points []CurvePoint) []float64 {
+	out := make([]float64, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	base := points[0].MissRate()
+	for i, p := range points {
+		if base == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = p.MissRate() / base
+	}
+	return out
+}

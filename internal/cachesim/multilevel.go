@@ -1,0 +1,99 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MultiLevel generalizes Hierarchy to any number of levels (L1..Ln). An
+// access walks down until it hits; each level's dirty evictions are
+// written through to the next level. The deepest level's traffic is the
+// chip's off-chip traffic — with a 3D-stacked cache die (§6.1) hierarchies
+// of three levels become the natural configuration.
+type MultiLevel struct {
+	levels []*Cache
+}
+
+// NewMultiLevel builds an n-level hierarchy from outermost-first configs
+// (L1 first). Capacities must be non-decreasing.
+func NewMultiLevel(cfgs ...Config) (*MultiLevel, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cachesim: need at least one level")
+	}
+	m := &MultiLevel{levels: make([]*Cache, len(cfgs))}
+	for i, cfg := range cfgs {
+		if i > 0 && cfg.SizeBytes < cfgs[i-1].SizeBytes {
+			return nil, fmt.Errorf("cachesim: L%d (%d B) smaller than L%d (%d B)",
+				i+1, cfg.SizeBytes, i, cfgs[i-1].SizeBytes)
+		}
+		c, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: L%d: %w", i+1, err)
+		}
+		m.levels[i] = c
+	}
+	return m, nil
+}
+
+// Levels returns the number of levels.
+func (m *MultiLevel) Levels() int { return len(m.levels) }
+
+// Level returns cache i (0-based, L1 = 0).
+func (m *MultiLevel) Level(i int) *Cache { return m.levels[i] }
+
+// Access walks the reference down the hierarchy, returning the depth at
+// which it hit (0 = L1) or Levels() if it went to memory.
+func (m *MultiLevel) Access(a trace.Access) int {
+	for i, c := range m.levels {
+		res := c.Access(a)
+		if res.WroteBack && i+1 < len(m.levels) {
+			// Victim write back absorbed by the next level (modeled as a
+			// same-address store, as in Hierarchy).
+			m.levels[i+1].Access(trace.Access{Addr: a.Addr, TID: a.TID, Write: true})
+		}
+		if res.Hit {
+			return i
+		}
+	}
+	return len(m.levels)
+}
+
+// MemoryTrafficBytes returns bytes exchanged with memory (below the last
+// level).
+func (m *MultiLevel) MemoryTrafficBytes() uint64 {
+	return m.levels[len(m.levels)-1].Stats().TrafficBytes()
+}
+
+// ResetStats clears every level's counters.
+func (m *MultiLevel) ResetStats() {
+	for _, c := range m.levels {
+		c.ResetStats()
+	}
+}
+
+// AMATMulti computes the average access time of the hierarchy given one
+// latency per level plus the memory latency (len(latencies) must be
+// Levels()+1, strictly increasing).
+func (m *MultiLevel) AMATMulti(latenciesNS []float64) (float64, error) {
+	if len(latenciesNS) != len(m.levels)+1 {
+		return 0, fmt.Errorf("cachesim: need %d latencies, got %d", len(m.levels)+1, len(latenciesNS))
+	}
+	for i, l := range latenciesNS {
+		if !(l > 0) {
+			return 0, fmt.Errorf("cachesim: latency %d must be positive, got %g", i, l)
+		}
+		if i > 0 && l <= latenciesNS[i-1] {
+			return 0, fmt.Errorf("cachesim: latencies must be strictly increasing")
+		}
+	}
+	amat := latenciesNS[0]
+	reach := 1.0 // probability an access misses through every level so far
+	for i, c := range m.levels {
+		reach *= c.Stats().MissRate()
+		// latencies[i+1] is the next level's (or memory's) latency, paid
+		// by the fraction of accesses that miss through level i.
+		amat += reach * latenciesNS[i+1]
+	}
+	return amat, nil
+}

@@ -1,0 +1,139 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/trace"
+)
+
+func threeLevel(t *testing.T) *MultiLevel {
+	t.Helper()
+	m, err := NewMultiLevel(
+		Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		Config{SizeBytes: 16 * 64, LineBytes: 64, Assoc: 4, Policy: LRU, WriteBack: true, WriteAllocate: true},
+		Config{SizeBytes: 256 * 64, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiLevelValidation(t *testing.T) {
+	if _, err := NewMultiLevel(); err == nil {
+		t.Error("zero levels accepted")
+	}
+	_, err := NewMultiLevel(
+		Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 4, Policy: LRU},
+		Config{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 4, Policy: LRU},
+	)
+	if err == nil {
+		t.Error("shrinking levels accepted")
+	}
+	_, err = NewMultiLevel(Config{SizeBytes: 100, LineBytes: 64})
+	if err == nil {
+		t.Error("invalid level accepted")
+	}
+}
+
+func TestMultiLevelWalk(t *testing.T) {
+	m := threeLevel(t)
+	if m.Levels() != 3 {
+		t.Fatalf("levels = %d", m.Levels())
+	}
+	// Cold access goes to memory.
+	if depth := m.Access(trace.Access{Addr: 0}); depth != 3 {
+		t.Errorf("cold depth = %d, want 3 (memory)", depth)
+	}
+	// Immediate re-access hits L1.
+	if depth := m.Access(trace.Access{Addr: 0}); depth != 0 {
+		t.Errorf("hot depth = %d, want 0", depth)
+	}
+	// Thrash L1 (4 lines): line 0 falls to L2 but not further.
+	for i := uint64(1); i <= 4; i++ {
+		m.Access(trace.Access{Addr: i * 64})
+	}
+	if depth := m.Access(trace.Access{Addr: 0}); depth != 1 {
+		t.Errorf("L1-evicted depth = %d, want 1 (L2 hit)", depth)
+	}
+	if m.Level(0).Stats().Accesses == 0 || m.Level(2).Stats().Accesses == 0 {
+		t.Error("per-level stats not accumulating")
+	}
+}
+
+func TestMultiLevelTrafficFiltering(t *testing.T) {
+	m := threeLevel(t)
+	// Loop over 64 lines: fits L3 (256 lines) but not L1/L2; after warmup
+	// the only memory traffic is the cold fills.
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < 64; i++ {
+			m.Access(trace.Access{Addr: i * 64})
+		}
+	}
+	if got := m.MemoryTrafficBytes(); got != 64*64 {
+		t.Errorf("memory traffic = %d, want %d (cold fills only)", got, 64*64)
+	}
+	m.ResetStats()
+	if m.MemoryTrafficBytes() != 0 {
+		t.Error("reset did not clear traffic")
+	}
+}
+
+func TestAMATMulti(t *testing.T) {
+	m := threeLevel(t)
+	// Construct known per-level miss rates by direct stat injection is not
+	// possible; instead run a trace and verify AMAT against hand-computed
+	// stats.
+	for round := 0; round < 8; round++ {
+		for i := uint64(0); i < 32; i++ {
+			m.Access(trace.Access{Addr: i * 64})
+		}
+	}
+	lat := []float64{1, 5, 20, 100}
+	got, err := m.AMATMulti(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := m.Level(0).Stats().MissRate()
+	m2 := m.Level(1).Stats().MissRate()
+	m3 := m.Level(2).Stats().MissRate()
+	want := 1 + m1*5 + m1*m2*20 + m1*m2*m3*100
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("AMAT = %v, want %v", got, want)
+	}
+	// Validation.
+	if _, err := m.AMATMulti([]float64{1, 2}); err == nil {
+		t.Error("wrong latency count accepted")
+	}
+	if _, err := m.AMATMulti([]float64{1, 2, 0, 4}); err == nil {
+		t.Error("non-positive latency accepted")
+	}
+	if _, err := m.AMATMulti([]float64{1, 5, 5, 100}); err == nil {
+		t.Error("non-increasing latencies accepted")
+	}
+}
+
+func TestMultiLevelMatchesHierarchyTwoLevels(t *testing.T) {
+	// A 2-level MultiLevel must produce the same L2 traffic as Hierarchy
+	// on the same trace.
+	l1cfg := Config{SizeBytes: 4 * 64, LineBytes: 64, Assoc: 0, Policy: LRU, WriteBack: true, WriteAllocate: true}
+	l2cfg := Config{SizeBytes: 64 * 64, LineBytes: 64, Assoc: 4, Policy: LRU, WriteBack: true, WriteAllocate: true}
+	h, err := NewHierarchy(l1cfg, l2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiLevel(l1cfg, l2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := benchTrace(20000, 256)
+	for _, a := range tr {
+		h.Access(a)
+		m.Access(a)
+	}
+	if h.MemoryTrafficBytes() != m.MemoryTrafficBytes() {
+		t.Errorf("traffic mismatch: hierarchy %d vs multilevel %d",
+			h.MemoryTrafficBytes(), m.MemoryTrafficBytes())
+	}
+}

@@ -1,0 +1,75 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchLines(n int, mix WorkloadMix, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = GenerateLine(mix.SampleKind(rng), 64, rng)
+	}
+	return out
+}
+
+func BenchmarkFPCEncode(b *testing.B) {
+	lines := benchLines(256, CommercialMix(), 7)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FPCEncode(lines[i&255]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPCDecode(b *testing.B) {
+	lines := benchLines(256, CommercialMix(), 7)
+	streams := make([][]byte, len(lines))
+	for i, l := range lines {
+		s, _, err := FPCEncode(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = s
+	}
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPCDecode(streams[i&255], 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBDICompress(b *testing.B) {
+	lines := benchLines(256, CommercialMix(), 9)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BDICompress(lines[i&255]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkCodecRoundTrip(b *testing.B) {
+	c, err := NewLinkCodec(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := benchLines(256, CommercialMix(), 11)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := c.Encode(lines[i&255])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

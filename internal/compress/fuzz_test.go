@@ -1,0 +1,99 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFPCRoundTrip checks encode/decode identity on arbitrary word-aligned
+// inputs (run with `go test -fuzz=FuzzFPCRoundTrip` for deep exploration;
+// the seed corpus runs in every `go test`).
+func FuzzFPCRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xab}, 64))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x80, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		data := raw[:len(raw)/4*4]
+		if len(data) == 0 {
+			return
+		}
+		stream, bits, err := FPCEncode(data)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if bits > len(data)*8+len(data)/4*3 {
+			t.Fatalf("compressed %d bits beyond worst case for %d bytes", bits, len(data))
+		}
+		back, err := FPCDecode(stream, len(data)/4)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch: %x -> %x", data, back)
+		}
+	})
+}
+
+// FuzzBDIRoundTrip checks BDI on arbitrary 8-byte-aligned inputs.
+func FuzzBDIRoundTrip(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		line := raw[:len(raw)/8*8]
+		if len(line) == 0 {
+			return
+		}
+		res, err := BDICompress(line)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		if res.SizeBytes < 1 || res.SizeBytes > len(line) {
+			t.Fatalf("size %d outside [1, %d]", res.SizeBytes, len(line))
+		}
+		if res.Encoding == BDIUncompressed {
+			return
+		}
+		back, err := BDIDecompress(res, len(line))
+		if err != nil {
+			t.Fatalf("decompress %v: %v", res.Encoding, err)
+		}
+		if !bytes.Equal(back, line) {
+			t.Fatalf("round trip mismatch under %v", res.Encoding)
+		}
+	})
+}
+
+// FuzzDictCodecStream checks the stateful dictionary codec over arbitrary
+// two-line streams.
+func FuzzDictCodecStream(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4}, []byte{1, 2, 3, 4, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		const lineBytes = 8
+		if len(a) < lineBytes || len(b) < lineBytes {
+			return
+		}
+		a, b = a[:lineBytes], b[:lineBytes]
+		enc, err := NewDictLinkCodec(lineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDictLinkCodec(lineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range [][]byte{a, b, a} {
+			frame, err := enc.Encode(line)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			back, err := dec.Decode(frame)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(back, line) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	})
+}

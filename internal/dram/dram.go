@@ -1,0 +1,246 @@
+// Package dram is a bank-level DRAM timing model: banks with open rows,
+// row-hit/miss/conflict timing, and a shared data bus. It grounds the
+// paper's off-chip bandwidth numbers one level deeper — peak bandwidth
+// (what pin counts buy) versus achieved bandwidth (what row locality
+// allows), the gap §6.2's "increase the actual bandwidth" approaches must
+// contend with.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Timing holds the core DRAM timing parameters, in memory-clock cycles.
+type Timing struct {
+	TRCD   int // row activate to column command
+	TRP    int // precharge
+	TCAS   int // column access
+	TBurst int // data-bus occupancy per line transfer
+}
+
+// Validate reports whether the timing is physical.
+func (t Timing) Validate() error {
+	if t.TRCD <= 0 || t.TRP <= 0 || t.TCAS <= 0 || t.TBurst <= 0 {
+		return fmt.Errorf("dram: all timing parameters must be positive, got %+v", t)
+	}
+	return nil
+}
+
+// DDR2Like returns plausible DDR2-era timings (in memory cycles):
+// tRCD=tRP=tCAS=4, 4-cycle bursts (64B at 16B/cycle).
+func DDR2Like() Timing {
+	return Timing{TRCD: 4, TRP: 4, TCAS: 4, TBurst: 4}
+}
+
+// RowPolicy selects what happens to a row after an access.
+type RowPolicy int
+
+const (
+	// OpenPage leaves the row open (fast for row locality, conflicts cost
+	// a precharge).
+	OpenPage RowPolicy = iota
+	// ClosedPage precharges immediately (uniform latency, no conflicts).
+	ClosedPage
+)
+
+// String implements fmt.Stringer.
+func (p RowPolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open-page"
+	case ClosedPage:
+		return "closed-page"
+	default:
+		return fmt.Sprintf("RowPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one DRAM channel.
+type Config struct {
+	Banks     int
+	RowBytes  int // row (page) size per bank
+	LineBytes int // transfer granularity
+	Timing    Timing
+	Policy    RowPolicy
+}
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks < 1 || c.Banks&(c.Banks-1) != 0:
+		return fmt.Errorf("dram: banks must be a positive power of two, got %d", c.Banks)
+	case c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram: row size must be a positive power of two, got %d", c.RowBytes)
+	case c.LineBytes <= 0 || c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("dram: line size %d must divide row size %d", c.LineBytes, c.RowBytes)
+	case c.Policy != OpenPage && c.Policy != ClosedPage:
+		return fmt.Errorf("dram: unknown row policy %d", c.Policy)
+	}
+	return c.Timing.Validate()
+}
+
+// Stats accumulates access-class counters.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64 // bank had no open row
+	Conflicts uint64 // bank had a different row open
+	// Cycles is the completion time of the last access.
+	Cycles uint64
+	// BytesMoved is total transferred volume.
+	BytesMoved uint64
+}
+
+// RowHitRate returns hits per access.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// EffectiveBytesPerCycle returns achieved bandwidth.
+func (s Stats) EffectiveBytesPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BytesMoved) / float64(s.Cycles)
+}
+
+// Controller is an in-order memory controller over one channel.
+type Controller struct {
+	cfg      Config
+	openRow  []uint64
+	rowValid []bool
+	// bankCmd is the start cycle of the bank's last burst: row hits can
+	// issue their column command from here (commands pipeline with data).
+	bankCmd []uint64
+	// bankDone is the completion cycle of the bank's last burst: row
+	// activations and precharges serialize behind it.
+	bankDone []uint64
+	busFree  uint64
+	stats    Stats
+}
+
+// NewController builds a controller.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:      cfg,
+		openRow:  make([]uint64, cfg.Banks),
+		rowValid: make([]bool, cfg.Banks),
+		bankCmd:  make([]uint64, cfg.Banks),
+		bankDone: make([]uint64, cfg.Banks),
+	}, nil
+}
+
+// Stats returns accumulated counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// PeakBytesPerCycle is the data bus's raw capacity: one line per TBurst.
+func (c *Controller) PeakBytesPerCycle() float64 {
+	return float64(c.cfg.LineBytes) / float64(c.cfg.Timing.TBurst)
+}
+
+// Access issues one line transfer in order, returning its completion
+// cycle. Banks interleave on row address bits (row-major striping), so
+// sequential rows rotate across banks.
+func (c *Controller) Access(addr uint64) uint64 {
+	c.stats.Accesses++
+	row := addr / uint64(c.cfg.RowBytes)
+	bank := int(row % uint64(c.cfg.Banks))
+	rowOfBank := row / uint64(c.cfg.Banks)
+
+	t := c.cfg.Timing
+	var ready uint64
+	switch {
+	case c.rowValid[bank] && c.openRow[bank] == rowOfBank:
+		// Row hit: the column command pipelines with the previous burst.
+		c.stats.RowHits++
+		ready = c.bankCmd[bank] + uint64(t.TCAS)
+	case !c.rowValid[bank]:
+		// Row miss on a precharged bank: activate, then read. With the
+		// closed-page policy the precharge itself was hidden behind other
+		// banks' bus time (auto-precharge).
+		c.stats.RowMisses++
+		ready = c.bankDone[bank] + uint64(t.TRCD) + uint64(t.TCAS)
+	default:
+		// Conflict: precharge the open row (after its last burst drains),
+		// then activate and read.
+		c.stats.Conflicts++
+		ready = c.bankDone[bank] + uint64(t.TRP) + uint64(t.TRCD) + uint64(t.TCAS)
+	}
+	// The shared data bus serializes bursts.
+	start := ready
+	if c.busFree > start {
+		start = c.busFree
+	}
+	done := start + uint64(t.TBurst)
+	c.busFree = done
+	c.bankCmd[bank] = start
+	c.bankDone[bank] = done
+	if c.cfg.Policy == ClosedPage {
+		c.rowValid[bank] = false
+	} else {
+		c.openRow[bank] = rowOfBank
+		c.rowValid[bank] = true
+	}
+	c.stats.BytesMoved += uint64(c.cfg.LineBytes)
+	if done > c.stats.Cycles {
+		c.stats.Cycles = done
+	}
+	return done
+}
+
+// Replay pushes a trace through the controller back-to-back (a fully
+// loaded channel) and returns the stats.
+func Replay(c *Controller, accesses []trace.Access) Stats {
+	for _, a := range accesses {
+		c.Access(a.Addr)
+	}
+	return c.Stats()
+}
+
+// wouldHit reports whether addr would be a row hit right now.
+func (c *Controller) wouldHit(addr uint64) bool {
+	row := addr / uint64(c.cfg.RowBytes)
+	bank := int(row % uint64(c.cfg.Banks))
+	return c.rowValid[bank] && c.openRow[bank] == row/uint64(c.cfg.Banks)
+}
+
+// ReplayFRFCFS replays a trace with first-ready, first-come-first-served
+// scheduling: among the oldest `window` pending requests, a row hit is
+// served before older non-hits (the standard memory-controller policy).
+// window = 1 degenerates to FIFO. Returns the stats of a fresh controller.
+func ReplayFRFCFS(cfg Config, accesses []trace.Access, window int) (Stats, error) {
+	if window < 1 {
+		return Stats{}, fmt.Errorf("dram: scheduling window must be ≥ 1, got %d", window)
+	}
+	c, err := NewController(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	pending := make([]uint64, 0, window)
+	next := 0
+	for next < len(accesses) || len(pending) > 0 {
+		for len(pending) < window && next < len(accesses) {
+			pending = append(pending, accesses[next].Addr)
+			next++
+		}
+		// First ready: the oldest pending row hit, else the oldest request.
+		pick := 0
+		for i, addr := range pending {
+			if c.wouldHit(addr) {
+				pick = i
+				break
+			}
+		}
+		c.Access(pending[pick])
+		pending = append(pending[:pick], pending[pick+1:]...)
+	}
+	return c.Stats(), nil
+}

@@ -1,0 +1,271 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testConfig(policy RowPolicy) Config {
+	return Config{
+		Banks:     8,
+		RowBytes:  2048,
+		LineBytes: 64,
+		Timing:    DDR2Like(),
+		Policy:    policy,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(OpenPage).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Banks = 0 },
+		func(c *Config) { c.Banks = 6 },
+		func(c *Config) { c.RowBytes = 0 },
+		func(c *Config) { c.RowBytes = 1000 },
+		func(c *Config) { c.LineBytes = 0 },
+		func(c *Config) { c.LineBytes = 96 },
+		func(c *Config) { c.Policy = RowPolicy(9) },
+		func(c *Config) { c.Timing.TRCD = 0 },
+		func(c *Config) { c.Timing.TBurst = -1 },
+	}
+	for i, mut := range mutations {
+		c := testConfig(OpenPage)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := NewController(c); err == nil {
+			t.Errorf("mutation %d constructed", i)
+		}
+	}
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Error("policy names broken")
+	}
+	if RowPolicy(9).String() == "" {
+		t.Error("unknown policy must stringify")
+	}
+}
+
+func TestAccessClassification(t *testing.T) {
+	c, err := NewController(testConfig(OpenPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access to a row: miss (empty bank).
+	c.Access(0)
+	// Same row: hit.
+	c.Access(64)
+	// Different row, same bank (bank count 8, so row+8 maps back): conflict.
+	c.Access(8 * 2048)
+	st := c.Stats()
+	if st.RowMisses != 1 || st.RowHits != 1 || st.Conflicts != 1 {
+		t.Errorf("classification = %+v", st)
+	}
+	if st.RowHitRate() != 1.0/3 {
+		t.Errorf("hit rate = %v", st.RowHitRate())
+	}
+}
+
+func TestClosedPageNeverConflicts(t *testing.T) {
+	c, err := NewController(testConfig(ClosedPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		c.Access(i * 2048 * 3) // hop across rows and banks
+	}
+	st := c.Stats()
+	if st.Conflicts != 0 {
+		t.Errorf("closed page conflicted %d times", st.Conflicts)
+	}
+	if st.RowHits != 0 {
+		t.Errorf("closed page hit %d times", st.RowHits)
+	}
+}
+
+func sequentialTrace(n int) []trace.Access {
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = trace.Access{Addr: uint64(i) * 64}
+	}
+	return out
+}
+
+func randomTrace(n int) []trace.Access {
+	out := make([]trace.Access, n)
+	x := uint64(99)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = trace.Access{Addr: (x % (1 << 20)) * 2048} // a new row almost every time
+	}
+	return out
+}
+
+// TestSequentialReachesNearPeak: a streaming scan with open pages achieves
+// close to the bus's peak bandwidth.
+func TestSequentialReachesNearPeak(t *testing.T) {
+	c, err := NewController(testConfig(OpenPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Replay(c, sequentialTrace(20000))
+	frac := st.EffectiveBytesPerCycle() / c.PeakBytesPerCycle()
+	if frac < 0.9 {
+		t.Errorf("sequential achieved %.2f of peak, want ≥ 0.9", frac)
+	}
+	if st.RowHitRate() < 0.9 {
+		t.Errorf("sequential row hit rate = %v", st.RowHitRate())
+	}
+}
+
+// TestRandomFallsShortOfPeak: row-conflict-heavy traffic achieves a
+// fraction of peak — the reason "peak bandwidth" overstates what extra
+// pins deliver.
+func TestRandomFallsShortOfPeak(t *testing.T) {
+	c, err := NewController(testConfig(OpenPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Replay(c, randomTrace(20000))
+	frac := st.EffectiveBytesPerCycle() / c.PeakBytesPerCycle()
+	if frac > 0.75 {
+		t.Errorf("random achieved %.2f of peak, want well below sequential", frac)
+	}
+	// And sequential must beat random.
+	c2, _ := NewController(testConfig(OpenPage))
+	seq := Replay(c2, sequentialTrace(20000))
+	if seq.EffectiveBytesPerCycle() <= st.EffectiveBytesPerCycle() {
+		t.Error("sequential did not beat random")
+	}
+}
+
+// TestPolicyTradeoff: open page wins on row-local streams, closed page
+// wins (or ties) on row-conflict streams within the same bank.
+func TestPolicyTradeoff(t *testing.T) {
+	// Ping-pong between two rows of the same bank: worst case for open page.
+	pingpong := make([]trace.Access, 10000)
+	for i := range pingpong {
+		row := uint64(i%2) * 8 * 2048 // rows 0 and 8 share bank 0
+		pingpong[i] = trace.Access{Addr: row}
+	}
+	open, _ := NewController(testConfig(OpenPage))
+	closed, _ := NewController(testConfig(ClosedPage))
+	openSt := Replay(open, pingpong)
+	closedSt := Replay(closed, pingpong)
+	if openSt.EffectiveBytesPerCycle() > closedSt.EffectiveBytesPerCycle() {
+		t.Errorf("open page should lose the ping-pong: %.3f vs %.3f B/cycle",
+			openSt.EffectiveBytesPerCycle(), closedSt.EffectiveBytesPerCycle())
+	}
+	// Sequential: open page must win.
+	open2, _ := NewController(testConfig(OpenPage))
+	closed2, _ := NewController(testConfig(ClosedPage))
+	openSeq := Replay(open2, sequentialTrace(10000))
+	closedSeq := Replay(closed2, sequentialTrace(10000))
+	if openSeq.EffectiveBytesPerCycle() <= closedSeq.EffectiveBytesPerCycle() {
+		t.Errorf("open page should win sequential: %.3f vs %.3f B/cycle",
+			openSeq.EffectiveBytesPerCycle(), closedSeq.EffectiveBytesPerCycle())
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Interleaving across banks hides activation latency versus hammering
+	// one bank with conflicting rows.
+	conflict := make([]trace.Access, 5000)
+	for i := range conflict {
+		conflict[i] = trace.Access{Addr: uint64(i%4) * 8 * 2048} // 4 rows, one bank
+	}
+	spread := make([]trace.Access, 5000)
+	for i := range spread {
+		spread[i] = trace.Access{Addr: uint64(i%4) * 2048 * 3} // hops across banks... rows 0,3,6,9 → banks 0,3,6,1
+	}
+	a, _ := NewController(testConfig(OpenPage))
+	b, _ := NewController(testConfig(OpenPage))
+	one := Replay(a, conflict)
+	many := Replay(b, spread)
+	if many.EffectiveBytesPerCycle() <= one.EffectiveBytesPerCycle() {
+		t.Errorf("bank parallelism did not help: %.3f vs %.3f B/cycle",
+			many.EffectiveBytesPerCycle(), one.EffectiveBytesPerCycle())
+	}
+}
+
+func TestMathSanity(t *testing.T) {
+	var zero Stats
+	if zero.RowHitRate() != 0 || zero.EffectiveBytesPerCycle() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+	cfg := testConfig(OpenPage)
+	c, _ := NewController(cfg)
+	st := Replay(c, sequentialTrace(1000))
+	if st.BytesMoved != 1000*64 {
+		t.Errorf("bytes moved = %d", st.BytesMoved)
+	}
+	if math.IsNaN(st.EffectiveBytesPerCycle()) {
+		t.Error("NaN bandwidth")
+	}
+}
+
+// pingPongTrace alternates between two rows of the same bank — worst case
+// for FIFO open-page scheduling, easy pickings for FR-FCFS.
+func pingPongTrace(n int) []trace.Access {
+	out := make([]trace.Access, n)
+	for i := range out {
+		row := uint64(i%2) * 8 * 2048
+		col := uint64(i/2%8) * 64
+		out[i] = trace.Access{Addr: row + col}
+	}
+	return out
+}
+
+func TestFRFCFSBeatsFIFOOnInterleavedRows(t *testing.T) {
+	cfg := testConfig(OpenPage)
+	tr := pingPongTrace(8000)
+	fifo, err := ReplayFRFCFS(cfg, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frfcfs, err := ReplayFRFCFS(cfg, tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(frfcfs.RowHitRate() > fifo.RowHitRate()) {
+		t.Errorf("FR-FCFS hit rate %v not above FIFO %v", frfcfs.RowHitRate(), fifo.RowHitRate())
+	}
+	if !(frfcfs.EffectiveBytesPerCycle() > 1.3*fifo.EffectiveBytesPerCycle()) {
+		t.Errorf("FR-FCFS bandwidth %v vs FIFO %v: want ≥1.3x", frfcfs.EffectiveBytesPerCycle(), fifo.EffectiveBytesPerCycle())
+	}
+	// Work conservation: same bytes moved either way.
+	if frfcfs.BytesMoved != fifo.BytesMoved {
+		t.Errorf("bytes differ: %d vs %d", frfcfs.BytesMoved, fifo.BytesMoved)
+	}
+}
+
+func TestFRFCFSWindowOneIsFIFO(t *testing.T) {
+	cfg := testConfig(OpenPage)
+	tr := pingPongTrace(2000)
+	inorder, _ := NewController(cfg)
+	want := Replay(inorder, tr)
+	got, err := ReplayFRFCFS(cfg, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("window-1 FR-FCFS differs from FIFO: %+v vs %+v", got, want)
+	}
+}
+
+func TestFRFCFSValidation(t *testing.T) {
+	if _, err := ReplayFRFCFS(testConfig(OpenPage), nil, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := testConfig(OpenPage)
+	bad.Banks = 3
+	if _, err := ReplayFRFCFS(bad, nil, 4); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/render"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func extDRAMBandwidthExp() Experiment {
+	return Experiment{
+		ID:    "ext-drambw",
+		Title: "Extension: peak vs achieved off-chip bandwidth (bank-level DRAM timing)",
+		Paper: "The paper treats off-chip bandwidth as a single peak number (25→42 GB/s for Niagara2, §6.2). A bank-level model shows how much of that peak real access patterns deliver.",
+		Run:   runExtDRAMBandwidth,
+	}
+}
+
+func runExtDRAMBandwidth(o Options) (*Result, error) {
+	n := 60_000
+	if o.Quick {
+		n = 15_000
+	}
+	cfgOpen := dram.Config{
+		Banks: 8, RowBytes: 2048, LineBytes: 64,
+		Timing: dram.DDR2Like(), Policy: dram.OpenPage,
+	}
+	cfgClosed := cfgOpen
+	cfgClosed.Policy = dram.ClosedPage
+
+	// Streams with decreasing row locality: the L2 miss stream of a real
+	// chip sits between the extremes.
+	streams := []struct {
+		name string
+		gen  func() (trace.Generator, error)
+	}{
+		{"sequential scan", func() (trace.Generator, error) {
+			return workload.NewStrided(1<<18, 0, 0)
+		}},
+		{"power-law miss stream", func() (trace.Generator, error) {
+			return workload.NewStackDistance(workload.StackDistanceConfig{
+				Alpha: 0.5, HotLines: 256, FootprintLines: 1 << 18,
+				WriteFraction: 0, Seed: 606 + o.Seed,
+			})
+		}},
+		{"random rows", func() (trace.Generator, error) {
+			return workload.NewZipf(1<<20, 1.0001, 0, 707+o.Seed, 0, 0)
+		}},
+	}
+	tb := &render.Table{
+		Title:   "Achieved fraction of peak bandwidth (DDR2-like, 8 banks, 2KB rows)",
+		Headers: []string{"access stream", "row hit rate (open)", "open-page", "closed-page", "FR-FCFS (win=16)"},
+	}
+	values := map[string]float64{}
+	for _, s := range streams {
+		row := []any{s.name}
+		for _, cfg := range []dram.Config{cfgOpen, cfgClosed} {
+			g, err := s.gen()
+			if err != nil {
+				return nil, err
+			}
+			ctrl, err := dram.NewController(cfg)
+			if err != nil {
+				return nil, err
+			}
+			st := dram.Replay(ctrl, trace.Collect(g, n))
+			frac := st.EffectiveBytesPerCycle() / ctrl.PeakBytesPerCycle()
+			if cfg.Policy == dram.OpenPage {
+				row = append(row, fmt.Sprintf("%.0f%%", 100*st.RowHitRate()))
+			}
+			row = append(row, frac)
+			values[fmt.Sprintf("%s:%s", cfg.Policy, s.name)] = frac
+		}
+		// FR-FCFS scheduling over the open-page config.
+		g, err := s.gen()
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := dram.NewController(cfgOpen)
+		if err != nil {
+			return nil, err
+		}
+		st, err := dram.ReplayFRFCFS(cfgOpen, trace.Collect(g, n), 16)
+		if err != nil {
+			return nil, err
+		}
+		frac := st.EffectiveBytesPerCycle() / ctrl.PeakBytesPerCycle()
+		row = append(row, frac)
+		values[fmt.Sprintf("frfcfs:%s", s.name)] = frac
+		tb.AddRow(row...)
+	}
+	return &Result{
+		ID:     "ext-drambw",
+		Title:  "Peak vs achieved DRAM bandwidth",
+		Tables: []*render.Table{tb},
+		Notes: []string{
+			"sequential streams reach ≈100% of peak; row-conflict-heavy streams deliver a fraction of it — a pin-count increase (the paper's B) buys peak, not achieved, bandwidth",
+			"open-page wins with row locality, closed-page wins without it: the effective envelope depends on the miss stream, not just the interface",
+			"FR-FCFS scheduling recovers bandwidth by reordering for row hits — achieved bandwidth is a controller property too",
+		},
+		Values: values,
+	}, nil
+}

@@ -1,0 +1,127 @@
+// Package exp contains one driver per figure and table of the paper's
+// evaluation, plus grounding experiments for the modeling assumptions
+// (write-back constancy, compression ratios, queueing collapse). Each
+// driver returns a structured Result that the CLI renders and the test
+// suite checks against the paper's reported numbers.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/render"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks simulation sizes for fast CI runs; headline *model*
+	// numbers are unaffected (they are closed-form), only the
+	// simulation-backed experiments get noisier.
+	Quick bool
+	// Seed offsets all workload seeds for sensitivity checks.
+	Seed int64
+}
+
+// Defaults returns full-fidelity options.
+func Defaults() Options { return Options{} }
+
+// Result is one experiment's rendered output plus machine-readable
+// headline values.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*render.Table
+	Charts []*render.Chart
+	Notes  []string
+	// Values holds the headline numbers (keyed like "cores@16x") that the
+	// test suite pins against the paper and EXPERIMENTS.md reports.
+	Values map[string]float64
+}
+
+// Value fetches a headline number, with existence reporting.
+func (r *Result) Value(key string) (float64, bool) {
+	v, ok := r.Values[key]
+	return v, ok
+}
+
+// SortedValueKeys returns the Values keys in lexical order for stable
+// rendering.
+func (r *Result) SortedValueKeys() []string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders the full result as text.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, tb := range r.Tables {
+		sb.WriteByte('\n')
+		sb.WriteString(tb.String())
+	}
+	for _, ch := range r.Charts {
+		sb.WriteByte('\n')
+		sb.WriteString(ch.String())
+	}
+	if len(r.Notes) > 0 {
+		sb.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "note: %s\n", n)
+		}
+	}
+	if len(r.Values) > 0 {
+		sb.WriteString("\nheadline values:\n")
+		for _, k := range r.SortedValueKeys() {
+			fmt.Fprintf(&sb, "  %-28s %v\n", k, trim(r.Values[k]))
+		}
+	}
+	return sb.String()
+}
+
+func trim(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this figure/table.
+	Paper string
+	Run   func(Options) (*Result, error)
+}
+
+// Registry lists every experiment in paper order (populated in
+// registry.go, which fixes the order explicitly).
+var Registry []Experiment
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every registered experiment, stopping at the first error.
+func RunAll(o Options) ([]*Result, error) {
+	out := make([]*Result, 0, len(Registry))
+	for _, e := range Registry {
+		r, err := e.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("exp %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"repro/internal/render"
+	"repro/internal/scaling"
+	"repro/internal/technique"
+)
+
+func fig02Exp() Experiment {
+	return Experiment{
+		ID:    "fig02",
+		Title: "Memory traffic vs core count in the next technology generation",
+		Paper: "On 32 CEAs, traffic grows super-linearly with cores: 2x at 16 cores; a constant envelope supports 11 cores, a 1.5x envelope 13.",
+		Run:   runFig02,
+	}
+}
+
+func runFig02(Options) (*Result, error) {
+	s := scaling.Default()
+	model := s.Model()
+	const n2 = 32.0
+	curve := model.TrafficCurve(n2, 28)
+
+	tb := &render.Table{
+		Title:   "Normalized traffic on a 32-CEA next-generation chip",
+		Headers: []string{"cores", "cache CEAs", "S2", "traffic M2/M1"},
+	}
+	xs := make([]float64, 0, len(curve))
+	ys := make([]float64, 0, len(curve))
+	env1 := make([]float64, 0, len(curve))
+	env15 := make([]float64, 0, len(curve))
+	for i, m := range curve {
+		p := float64(i + 1)
+		tb.AddRow(p, n2-p, (n2-p)/p, m)
+		xs = append(xs, p)
+		ys = append(ys, m)
+		env1 = append(env1, 1)
+		env15 = append(env15, 1.5)
+	}
+	chart := &render.Chart{
+		Title: "Fig 2: traffic vs cores (32 CEAs)", Width: 56, Height: 18,
+		Series: []render.Series{
+			{Name: "new traffic", X: xs, Y: ys},
+			{Name: "envelope B=1", X: xs, Y: env1},
+			{Name: "envelope B=1.5", X: xs, Y: env15},
+		},
+	}
+
+	coresB1, err := s.MaxCores(technique.Combine(), n2, 1)
+	if err != nil {
+		return nil, err
+	}
+	coresB15, err := s.MaxCores(technique.Combine(), n2, 1.5)
+	if err != nil {
+		return nil, err
+	}
+	exactB1, err := s.EnvelopeIntersection(n2, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "fig02",
+		Title:  "Traffic vs cores, next generation",
+		Tables: []*render.Table{tb},
+		Charts: []*render.Chart{chart},
+		Notes: []string{
+			"paper: 11 cores under a constant envelope (37.5% growth), 13 under a 1.5x envelope (62.5%)",
+		},
+		Values: map[string]float64{
+			"cores@B=1":        float64(coresB1),
+			"cores@B=1.5":      float64(coresB15),
+			"intersection@B=1": exactB1,
+			"traffic@16cores":  curve[15],
+			"traffic@24cores":  curve[23],
+		},
+	}, nil
+}
+
+func fig03Exp() Experiment {
+	return Experiment{
+		ID:    "fig03",
+		Title: "Die area allocation and supportable cores vs scaling ratio",
+		Paper: "Under constant traffic, only 24 cores (10% of the die) fit at 16x scaling, versus 128 proportional; the core share keeps shrinking.",
+		Run:   runFig03,
+	}
+}
+
+func runFig03(Options) (*Result, error) {
+	s := scaling.Default()
+	ratios := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	gens := scaling.ScalingRatios(s.Base().N(), ratios)
+	tb := &render.Table{
+		Title:   "Supportable cores under a constant traffic envelope",
+		Headers: []string{"scaling", "CEAs", "cores", "exact", "% area for cores", "proportional"},
+	}
+	values := map[string]float64{}
+	var coresXs, coresYs, areaYs []float64
+	for _, g := range gens {
+		var cores int
+		var exact float64
+		var err error
+		if g.Ratio == 1 {
+			// The baseline is balanced by construction.
+			cores, exact = 8, 8
+		} else {
+			exact, err = s.SupportableCores(technique.Combine(), g.N, 1)
+			if err != nil {
+				return nil, err
+			}
+			cores, err = s.MaxCores(technique.Combine(), g.N, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		areaPct := 100 * exact / g.N
+		tb.AddRow(g.String(), g.N, cores, exact, areaPct, s.ProportionalCores(g.N))
+		coresXs = append(coresXs, g.Ratio)
+		coresYs = append(coresYs, float64(cores))
+		areaYs = append(areaYs, areaPct)
+		values[genKey("cores", g.Ratio)] = float64(cores)
+		values[genKey("area%", g.Ratio)] = areaPct
+	}
+	chart := &render.Chart{
+		Title: "Fig 3: cores (left) and % die area (right) vs scaling ratio", LogX: true, Width: 56, Height: 16,
+		Series: []render.Series{
+			{Name: "# of cores", X: coresXs, Y: coresYs},
+			{Name: "% of chip area for cores", X: coresXs, Y: areaYs},
+		},
+	}
+	return &Result{
+		ID:     "fig03",
+		Title:  "Die allocation vs scaling ratio",
+		Tables: []*render.Table{tb},
+		Charts: []*render.Chart{chart},
+		Notes: []string{
+			"paper: at 16x only ~10% of the die can be cores (24 cores vs 128 proportional)",
+		},
+		Values: values,
+	}, nil
+}
+
+// genKey builds keys like "cores@16x".
+func genKey(prefix string, ratio float64) string {
+	return prefix + "@" + trim(ratio) + "x"
+}

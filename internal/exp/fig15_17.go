@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+	"repro/internal/scaling"
+	"repro/internal/technique"
+)
+
+func fig15Exp() Experiment {
+	return Experiment{
+		ID:    "fig15",
+		Title: "Core scaling with individual techniques across four generations",
+		Paper: "BASE reaches only 24 cores at 16x vs 128 ideal; DRAM 47, LC 38, CC 30; direct > indirect, dual > direct.",
+		Run:   runFig15,
+	}
+}
+
+func runFig15(Options) (*Result, error) {
+	s := scaling.Default()
+	gens := scaling.Generations(s.Base().N(), 4)
+	tb := &render.Table{
+		Title:   "Supportable cores (pessimistic / realistic / optimistic)",
+		Headers: []string{"technique", "2x", "4x", "8x", "16x"},
+	}
+	values := map[string]float64{}
+
+	// IDEAL and BASE rows first, as in the paper's x-axis.
+	idealRow := []any{"IDEAL"}
+	for _, g := range gens {
+		p := s.ProportionalCores(g.N)
+		idealRow = append(idealRow, trim(p))
+		values[genKey("IDEAL", g.Ratio)] = p
+	}
+	tb.AddRow(idealRow...)
+
+	basePts, err := s.SweepGenerations(technique.Combine(), gens, 1)
+	if err != nil {
+		return nil, err
+	}
+	baseRow := []any{"BASE"}
+	for _, p := range basePts {
+		baseRow = append(baseRow, p.Cores)
+		values[genKey("BASE", p.Gen.Ratio)] = float64(p.Cores)
+	}
+	tb.AddRow(baseRow...)
+
+	for _, entry := range technique.Catalog {
+		entry := entry
+		candles, err := s.SweepCandles(func(a technique.Assumption) technique.Stack {
+			return technique.Combine(entry.New(a))
+		}, gens, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{entry.Label}
+		for _, c := range candles {
+			row = append(row, fmt.Sprintf("%d/%d/%d", c.Pessimistic, c.Realistic, c.Optimistic))
+			values[genKey(entry.Label, c.Gen.Ratio)] = float64(c.Realistic)
+			values[genKey(entry.Label+":pess", c.Gen.Ratio)] = float64(c.Pessimistic)
+			values[genKey(entry.Label+":opt", c.Gen.Ratio)] = float64(c.Optimistic)
+		}
+		tb.AddRow(row...)
+	}
+
+	// Chart: realistic core counts at 16x per technique.
+	var xs, ys []float64
+	labels := []string{"IDEAL", "BASE"}
+	for _, e := range technique.Catalog {
+		labels = append(labels, e.Label)
+	}
+	for i, l := range labels {
+		xs = append(xs, float64(i))
+		ys = append(ys, values[genKey(l, 16)])
+	}
+	chart := &render.Chart{
+		Title: "Fig 15 @16x (realistic): IDEAL, BASE, " + joinLabels(technique.Catalog), Width: 44, Height: 14,
+		Series: []render.Series{{Name: "cores @16x", X: xs, Y: ys}},
+	}
+	return &Result{
+		ID:     "fig15",
+		Title:  "Individual techniques across generations",
+		Tables: []*render.Table{tb},
+		Charts: []*render.Chart{chart},
+		Notes: []string{
+			"paper @16x realistic: BASE 24, CC 30, DRAM 47, LC 38",
+			"indirect techniques are dampened by the -α exponent; direct and dual are not",
+		},
+		Values: values,
+	}, nil
+}
+
+func joinLabels(entries []technique.CatalogEntry) string {
+	s := ""
+	for i, e := range entries {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.Label
+	}
+	return s
+}
+
+func fig16Exp() Experiment {
+	return Experiment{
+		ID:    "fig16",
+		Title: "Core scaling with technique combinations across four generations",
+		Paper: "Combining all highly effective techniques (CC/LC + DRAM + 3D + SmCl) achieves super-proportional scaling: 183 cores (71% of the die) at 16x.",
+		Run:   runFig16,
+	}
+}
+
+func runFig16(Options) (*Result, error) {
+	s := scaling.Default()
+	gens := scaling.Generations(s.Base().N(), 4)
+	tb := &render.Table{
+		Title:   "Supportable cores (pessimistic / realistic / optimistic)",
+		Headers: []string{"combination", "2x", "4x", "8x", "16x"},
+	}
+	values := map[string]float64{}
+
+	idealRow := []any{"IDEAL"}
+	for _, g := range gens {
+		idealRow = append(idealRow, trim(s.ProportionalCores(g.N)))
+	}
+	tb.AddRow(idealRow...)
+	basePts, err := s.SweepGenerations(technique.Combine(), gens, 1)
+	if err != nil {
+		return nil, err
+	}
+	baseRow := []any{"BASE"}
+	for _, p := range basePts {
+		baseRow = append(baseRow, p.Cores)
+	}
+	tb.AddRow(baseRow...)
+
+	// The 15 combination columns of Fig 16, by index so the three
+	// assumption variants stay aligned.
+	realistic := technique.Fig16Combos(technique.Realistic)
+	pessimistic := technique.Fig16Combos(technique.Pessimistic)
+	optimistic := technique.Fig16Combos(technique.Optimistic)
+	for i := range realistic {
+		label := realistic[i].Label()
+		row := []any{label}
+		for _, g := range gens {
+			pess, err := s.MaxCores(pessimistic[i], g.N, 1)
+			if err != nil {
+				return nil, err
+			}
+			real, err := s.MaxCores(realistic[i], g.N, 1)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := s.MaxCores(optimistic[i], g.N, 1)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d/%d/%d", pess, real, opt))
+			values[genKey(label, g.Ratio)] = float64(real)
+		}
+		tb.AddRow(row...)
+	}
+
+	// Headline: the all-combined configuration's die share at 16x.
+	all := realistic[len(realistic)-1]
+	exact, err := s.SupportableCores(all, 256, 1)
+	if err != nil {
+		return nil, err
+	}
+	values["allcombined:area%@16x"] = 100 * scaling.CoreAreaFraction(all, 256, exact)
+
+	return &Result{
+		ID:     "fig16",
+		Title:  "Technique combinations across generations",
+		Tables: []*render.Table{tb},
+		Notes: []string{
+			"paper: CC/LC + DRAM + 3D + SmCl reaches 183 cores (71% of the die) at 16x — super-proportional",
+			"LC + SmCl alone cut traffic 70% directly; 3D DRAM + CC + SmCl grow effective cache 53x",
+		},
+		Values: values,
+	}, nil
+}
+
+func fig17Exp() Experiment {
+	return Experiment{
+		ID:    "fig17",
+		Title: "Core scaling sensitivity to workload α",
+		Paper: "A large α (0.62) supports nearly twice the cores of a small α (0.25) at BASE, and the gap widens with techniques: small α blocks proportional scaling, large α exceeds it.",
+		Run:   runFig17,
+	}
+}
+
+func runFig17(Options) (*Result, error) {
+	configs := []struct {
+		label string
+		stack technique.Stack
+	}{
+		{"BASE", technique.Combine()},
+		{"DRAM", technique.Combine(technique.DRAMCache{Density: 8})},
+		{"CC/LC + DRAM", technique.Combine(technique.CacheLinkCompression{Ratio: 2}, technique.DRAMCache{Density: 8})},
+		{"CC/LC + DRAM + 3D", technique.Combine(technique.CacheLinkCompression{Ratio: 2}, technique.DRAMCache{Density: 8}, technique.ThreeDCache{LayerDensity: 1})},
+	}
+	alphas := []float64{0.25, 0.62}
+	gens := scaling.Generations(16, 4)
+	tb := &render.Table{
+		Title:   "Supportable cores: α = 0.25 vs α = 0.62",
+		Headers: []string{"configuration", "α", "2x", "4x", "8x", "16x"},
+	}
+	values := map[string]float64{}
+	idealRow := []any{"IDEAL", "-"}
+	for _, g := range gens {
+		idealRow = append(idealRow, trim(8*g.Ratio))
+	}
+	tb.AddRow(idealRow...)
+	for _, cfg := range configs {
+		for _, a := range alphas {
+			s := scaling.MustNew(scalingBase(), a)
+			row := []any{cfg.label, a}
+			for _, g := range gens {
+				cores, err := s.MaxCores(cfg.stack, g.N, 1)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cores)
+				values[fmt.Sprintf("%s:a=%.2f@%gx", cfg.label, a, g.Ratio)] = float64(cores)
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return &Result{
+		ID:     "fig17",
+		Title:  "α sensitivity",
+		Tables: []*render.Table{tb},
+		Notes: []string{
+			"paper: at BASE a large α enables almost twice the cores of a small α; with stacked techniques the gap widens further",
+		},
+		Values: values,
+	}, nil
+}

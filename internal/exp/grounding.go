@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/compress"
+	"repro/internal/memsys"
+	"repro/internal/render"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The grounding experiments validate modeling assumptions the paper takes
+// from the literature, using our own substrates.
+
+func writebackExp() Experiment {
+	return Experiment{
+		ID:    "writeback",
+		Title: "§4.2 grounding: write backs are a constant fraction of misses",
+		Paper: "\"the number of write backs tends to be an application-specific constant fraction of its number of cache misses, across different cache sizes\" — the cancellation that makes Eq. 2 hold for total traffic.",
+		Run:   runWriteback,
+	}
+}
+
+func runWriteback(o Options) (*Result, error) {
+	accesses := 1_200_000
+	warmup := 300_000
+	maxSize := 2 * 1024 * 1024
+	if o.Quick {
+		accesses, warmup, maxSize = 250_000, 50_000, 512*1024
+	}
+	g, err := workload.NewStackDistance(workload.StackDistanceConfig{
+		Alpha:          0.5,
+		HotLines:       256,
+		FootprintLines: 1 << 19,
+		WriteFraction:  0.3,
+		WritesPerLine:  true,
+		Seed:           4242 + o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.Collect(g, accesses)
+	sizes := cachesim.PowerOfTwoSizes(32*1024, maxSize)
+	pts, err := cachesim.MissCurve(tr, cachesim.Config{
+		LineBytes: 64, Assoc: 8, Policy: cachesim.LRU, WriteBack: true, WriteAllocate: true,
+	}, sizes, warmup)
+	if err != nil {
+		return nil, err
+	}
+	tb := &render.Table{
+		Title:   "Write-back ratio r_wb across cache sizes",
+		Headers: []string{"cache", "miss rate", "write backs / miss", "traffic bytes"},
+	}
+	values := map[string]float64{}
+	var ratios []float64
+	hdrs := sizeHeaders(sizes)
+	for i, p := range pts {
+		r := p.Stats.WriteBackRatio()
+		tb.AddRow(hdrs[i], p.MissRate(), r, p.Stats.TrafficBytes())
+		ratios = append(ratios, r)
+	}
+	mn, mx := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < mn {
+			mn = r
+		}
+		if r > mx {
+			mx = r
+		}
+	}
+	values["rwb:min"] = mn
+	values["rwb:max"] = mx
+	values["rwb:spread"] = mx - mn
+	return &Result{
+		ID:     "writeback",
+		Title:  "Write-back constancy",
+		Tables: []*render.Table{tb},
+		Notes: []string{
+			"with per-line write-ness (dirty lines stay dirty however long they live), r_wb is flat across sizes — hence (1+r_wb) cancels in traffic ratios (Eq. 2)",
+		},
+		Values: values,
+	}, nil
+}
+
+func compressionExp() Experiment {
+	return Experiment{
+		ID:    "compression",
+		Title: "Table 2 grounding: measured FPC/BDI compression ratios",
+		Paper: "Cited ratios: 1.4–2.1x commercial, 1.7–2.4x SPECint, 1.0–1.3x SPECfp (cache); ~2x commercial, up to ~3x integer/media (link).",
+		Run:   runCompression,
+	}
+}
+
+func runCompression(o Options) (*Result, error) {
+	lines := 4000
+	if o.Quick {
+		lines = 800
+	}
+	tb := &render.Table{
+		Title:   "Measured compression ratios on synthetic value-local data (64B lines)",
+		Headers: []string{"data mix", "FPC ratio", "BDI ratio"},
+	}
+	values := map[string]float64{}
+	mixes := []struct {
+		name string
+		mix  compress.WorkloadMix
+	}{
+		{"commercial", compress.CommercialMix()},
+		{"integer", compress.IntegerMix()},
+		{"floating-point", compress.FloatMix()},
+	}
+	for i, m := range mixes {
+		fpc, bdi, err := compress.MeasureRatios(m.mix, 64, lines, int64(i)+5+o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(m.name, fpc, bdi)
+		values["fpc:"+m.name] = fpc
+		values["bdi:"+m.name] = bdi
+	}
+	// Link codecs on a commercial stream, including framing overhead: the
+	// stateless FPC framer vs the Thuresson-style value-locality
+	// dictionary (the paper's actual LC citation). The stream revisits a
+	// hot pool of lines, as memory traffic does.
+	codec, err := compress.NewLinkCodec(64)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := compress.NewDictLinkCodec(64)
+	if err != nil {
+		return nil, err
+	}
+	rngMix := compress.CommercialMix()
+	rs := newDetRand(777 + o.Seed)
+	hot := make([][]byte, 24)
+	for i := range hot {
+		hot[i] = compress.GenerateLine(rngMix.SampleKind(rs), 64, rs)
+	}
+	for i := 0; i < lines; i++ {
+		var line []byte
+		if rs.Float64() < 0.5 {
+			line = hot[rs.Intn(len(hot))]
+		} else {
+			line = compress.GenerateLine(rngMix.SampleKind(rs), 64, rs)
+		}
+		if _, err := codec.Encode(line); err != nil {
+			return nil, err
+		}
+		if _, err := dict.Encode(line); err != nil {
+			return nil, err
+		}
+	}
+	values["link:commercial"] = codec.Ratio()
+	values["link:dict"] = dict.Ratio()
+	linkTable := &render.Table{
+		Title:   "Link codecs: effective bandwidth multiplier on a commercial stream",
+		Headers: []string{"codec", "ratio"},
+	}
+	linkTable.AddRow("FPC + framing (stateless)", codec.Ratio())
+	linkTable.AddRow("value-locality dictionary (Thuresson-style)", dict.Ratio())
+	return &Result{
+		ID:     "compression",
+		Title:  "Compression grounding",
+		Tables: []*render.Table{tb, linkTable},
+		Notes: []string{
+			"the measured spread brackets the paper's pessimistic 1.25x and realistic 2x assumptions; floating-point data sits at the pessimistic end",
+		},
+		Values: values,
+	}, nil
+}
+
+func queueingExp() Experiment {
+	return Experiment{
+		ID:    "queueing",
+		Title: "§1 grounding: throughput saturates at the bandwidth wall",
+		Paper: "\"adding more cores beyond the bandwidth envelope will force total chip performance to decline until the rate of memory requests matches the available off-chip bandwidth\".",
+		Run:   runQueueing,
+	}
+}
+
+func runQueueing(Options) (*Result, error) {
+	// Niagara2-like channel: 42 GB/s, 64B lines, 60ns unloaded.
+	ch, err := memsys.NewChannel(42e9, 64, 60e-9)
+	if err != nil {
+		return nil, err
+	}
+	const perCore = 3e9 // bytes/sec demanded per unthrottled core
+	tb := &render.Table{
+		Title:   "Chip throughput and memory latency vs core count (3 GB/s per core)",
+		Headers: []string{"cores", "demand GB/s", "utilization", "latency ns", "chip throughput"},
+	}
+	values := map[string]float64{}
+	var xs, ys []float64
+	for _, p := range []float64{2, 4, 8, 12, 14, 16, 20, 24, 28, 32} {
+		demand := p * perCore
+		lat := ch.Latency(demand) * 1e9
+		latStr := any(lat)
+		if lat > 1e12 {
+			latStr = "saturated"
+		}
+		tp := ch.ChipThroughput(p, perCore)
+		tb.AddRow(p, demand/1e9, ch.Utilization(demand), latStr, tp)
+		xs = append(xs, p)
+		ys = append(ys, tp)
+	}
+	values["knee:cores"] = ch.KneeCores(perCore)
+	values["throughput@2xknee"] = ch.ChipThroughput(2*ch.KneeCores(perCore), perCore)
+	chart := &render.Chart{
+		Title: "Throughput flattens at the bandwidth wall", Width: 48, Height: 12,
+		Series: []render.Series{{Name: "chip throughput", X: xs, Y: ys}},
+	}
+	return &Result{
+		ID:     "queueing",
+		Title:  "Bandwidth-wall throughput collapse",
+		Tables: []*render.Table{tb},
+		Charts: []*render.Chart{chart},
+		Notes: []string{
+			fmt.Sprintf("the knee sits at %.0f cores; beyond it added cores contribute zero throughput", values["knee:cores"]),
+			"M/D/1 queueing latency grows without bound as utilization approaches 1",
+		},
+		Values: values,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"encoding/json"
+
+	"repro/internal/render"
+)
+
+// jsonResult is the stable JSON shape of a Result, for downstream tooling
+// (plotting scripts, CI dashboards).
+type jsonResult struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Notes  []string           `json:"notes,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Tables []jsonTable        `json:"tables,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler for Result. Charts are omitted
+// (they are terminal renderings; the tables carry the data).
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := jsonResult{
+		ID:     r.ID,
+		Title:  r.Title,
+		Notes:  r.Notes,
+		Values: r.Values,
+		Tables: make([]jsonTable, 0, len(r.Tables)),
+	}
+	for _, tb := range r.Tables {
+		out.Tables = append(out.Tables, jsonTable{
+			Title:   tb.Title,
+			Headers: tb.Headers,
+			Rows:    tb.Rows,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Result (round-trip support
+// for archived results).
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in jsonResult
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.ID = in.ID
+	r.Title = in.Title
+	r.Notes = in.Notes
+	r.Values = in.Values
+	r.Tables = r.Tables[:0]
+	for _, tb := range in.Tables {
+		r.Tables = append(r.Tables, &render.Table{
+			Title:   tb.Title,
+			Headers: tb.Headers,
+			Rows:    tb.Rows,
+		})
+	}
+	r.Charts = nil
+	return nil
+}

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunAllParallel executes every registered experiment concurrently with at
+// most `workers` in flight, preserving registry order in the returned
+// slice. Experiments are independent by construction (each builds its own
+// generators and simulators), so this is a pure latency win for the CLI's
+// `run all`.
+func RunAllParallel(o Options, workers int) ([]*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("exp: workers must be ≥ 1, got %d", workers)
+	}
+	results := make([]*Result, len(Registry))
+	errs := make([]error, len(Registry))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range Registry {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := e.Run(o)
+			results[i], errs[i] = r, err
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp %s: %w", Registry[i].ID, err)
+		}
+	}
+	return results, nil
+}

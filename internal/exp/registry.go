@@ -1,0 +1,43 @@
+package exp
+
+import "math/rand"
+
+func init() {
+	Registry = []Experiment{
+		fig01Exp(),
+		fig02Exp(),
+		fig03Exp(),
+		fig04Exp(),
+		fig05Exp(),
+		fig06Exp(),
+		fig07Exp(),
+		fig08Exp(),
+		fig09Exp(),
+		fig10Exp(),
+		fig11Exp(),
+		fig12Exp(),
+		fig13Exp(),
+		fig14Exp(),
+		fig15Exp(),
+		fig16Exp(),
+		fig17Exp(),
+		table2Exp(),
+		writebackExp(),
+		compressionExp(),
+		queueingExp(),
+		extEnvelopeExp(),
+		extHeteroExp(),
+		ablPolicyExp(),
+		ablModelExp(),
+		extDRAMLatencyExp(),
+		extOverheadsExp(),
+		ablEq5Exp(),
+		extThroughputExp(),
+		extDRAMBandwidthExp(),
+	}
+}
+
+// newDetRand builds a deterministic rand source for experiment drivers.
+func newDetRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

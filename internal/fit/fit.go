@@ -1,0 +1,76 @@
+// Package fit turns simulated miss curves into power-law parameters — the
+// analysis step of the paper's Fig 1, which calibrates α per workload and
+// judges how well each workload "conforms to the power law of cache miss
+// rate" by the straightness of its log-log curve.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cachesim"
+	"repro/internal/numeric"
+)
+
+// Result is a fitted power law m(C) = M0 · (C/C0)^-Alpha with fit quality.
+type Result struct {
+	Alpha float64 // −(log-log slope)
+	M0    float64 // miss rate at C0
+	C0    float64 // reference size (the smallest sampled size)
+	R2    float64 // straightness in log-log space
+	N     int     // points used
+}
+
+// Eval returns the fitted miss rate at cache size c. Non-positive sizes
+// evaluate to 0.
+func (r Result) Eval(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return r.M0 * math.Pow(c/r.C0, -r.Alpha)
+}
+
+// ConformanceR2 is the R² threshold above which we call a workload
+// power-law conformant, mirroring the paper's qualitative reading of Fig 1
+// ("these applications tend to conform to the power law quite closely").
+const ConformanceR2 = 0.97
+
+// Conforms reports whether the fit is straight enough to call power-law.
+func (r Result) Conforms() bool { return r.R2 >= ConformanceR2 }
+
+// PowerLaw fits miss-curve points. It needs at least three points with
+// positive sizes and miss rates; points are sorted by size first, and C0
+// is the smallest size.
+func PowerLaw(points []cachesim.CurvePoint) (Result, error) {
+	if len(points) < 3 {
+		return Result{}, fmt.Errorf("fit: need ≥3 points, got %d", len(points))
+	}
+	pts := make([]cachesim.CurvePoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].SizeBytes < pts[j].SizeBytes })
+	xs := make([]float64, 0, len(pts))
+	ys := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		m := p.MissRate()
+		if p.SizeBytes > 0 && m > 0 {
+			xs = append(xs, float64(p.SizeBytes))
+			ys = append(ys, m)
+		}
+	}
+	if len(xs) < 3 {
+		return Result{}, fmt.Errorf("fit: only %d usable points (need positive sizes and miss rates)", len(xs))
+	}
+	pf, err := numeric.LogLogFit(xs, ys)
+	if err != nil {
+		return Result{}, err
+	}
+	c0 := xs[0]
+	return Result{
+		Alpha: -pf.Exponent,
+		M0:    pf.Eval(c0),
+		C0:    c0,
+		R2:    pf.R2,
+		N:     pf.N,
+	}, nil
+}

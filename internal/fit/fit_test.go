@@ -1,0 +1,107 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+// synthCurve builds CurvePoints following an exact power law.
+func synthCurve(alpha, m0 float64, sizes []int) []cachesim.CurvePoint {
+	pts := make([]cachesim.CurvePoint, len(sizes))
+	c0 := float64(sizes[0])
+	const accesses = 1 << 30
+	for i, s := range sizes {
+		m := m0 * math.Pow(float64(s)/c0, -alpha)
+		pts[i] = cachesim.CurvePoint{
+			SizeBytes: s,
+			Stats:     cachesim.Stats{Accesses: accesses, Misses: uint64(m * accesses)},
+		}
+	}
+	return pts
+}
+
+func TestPowerLawRecovery(t *testing.T) {
+	for _, alpha := range []float64{0.25, 0.48, 0.62} {
+		pts := synthCurve(alpha, 0.5, cachesim.PowerOfTwoSizes(16*1024, 4*1024*1024))
+		res, err := PowerLaw(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Alpha-alpha) > 0.01 {
+			t.Errorf("α = %v, want %v", res.Alpha, alpha)
+		}
+		if !res.Conforms() {
+			t.Errorf("exact power law must conform (R²=%v)", res.R2)
+		}
+		if math.Abs(res.Eval(16*1024)-0.5) > 0.01 {
+			t.Errorf("Eval(C0) = %v, want 0.5", res.Eval(16*1024))
+		}
+	}
+}
+
+func TestPowerLawUnsortedInput(t *testing.T) {
+	pts := synthCurve(0.5, 0.3, []int{1 << 20, 1 << 14, 1 << 17, 1 << 15, 1 << 19})
+	res, err := PowerLaw(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C0 != 1<<14 {
+		t.Errorf("C0 = %v, want the smallest size", res.C0)
+	}
+	if math.Abs(res.Alpha-0.5) > 0.01 {
+		t.Errorf("α = %v", res.Alpha)
+	}
+	// Input order must be preserved (PowerLaw copies before sorting).
+	if pts[0].SizeBytes != 1<<20 {
+		t.Error("PowerLaw mutated its input")
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLaw(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PowerLaw(synthCurve(0.5, 0.3, []int{1024, 2048})); err == nil {
+		t.Error("two points accepted")
+	}
+	// All-zero miss rates are unusable.
+	dead := []cachesim.CurvePoint{
+		{SizeBytes: 1024, Stats: cachesim.Stats{Accesses: 100}},
+		{SizeBytes: 2048, Stats: cachesim.Stats{Accesses: 100}},
+		{SizeBytes: 4096, Stats: cachesim.Stats{Accesses: 100}},
+	}
+	if _, err := PowerLaw(dead); err == nil {
+		t.Error("zero-miss curve accepted")
+	}
+}
+
+func TestNonPowerLawDoesNotConform(t *testing.T) {
+	// A step function (discrete working set) should fit poorly.
+	pts := []cachesim.CurvePoint{
+		{SizeBytes: 16 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 900}},
+		{SizeBytes: 32 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 890}},
+		{SizeBytes: 64 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 880}},
+		{SizeBytes: 128 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 10}},
+		{SizeBytes: 256 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 9}},
+		{SizeBytes: 512 * 1024, Stats: cachesim.Stats{Accesses: 1000, Misses: 8}},
+	}
+	res, err := PowerLaw(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conforms() {
+		t.Errorf("step curve conforms with R²=%v; threshold too lax", res.R2)
+	}
+}
+
+func TestEvalEdgeCases(t *testing.T) {
+	r := Result{Alpha: 0.5, M0: 0.1, C0: 1024}
+	if r.Eval(0) != 0 || r.Eval(-5) != 0 {
+		t.Error("non-positive sizes must evaluate to 0")
+	}
+	if r.Eval(4096) >= r.Eval(1024) {
+		t.Error("miss rate must fall with cache size")
+	}
+}

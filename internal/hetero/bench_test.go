@@ -1,0 +1,23 @@
+package hetero
+
+import "testing"
+
+func BenchmarkMaxSecondary(b *testing.B) {
+	big := CoreClass{Name: "big", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
+	little := CoreClass{Name: "little", AreaCEA: 0.25, TrafficWeight: 0.3, PerfWeight: 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxSecondary(big, little, 4, 256, 8, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestMix(b *testing.B) {
+	big := CoreClass{Name: "big", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
+	little := CoreClass{Name: "little", AreaCEA: 0.25, TrafficWeight: 0.3, PerfWeight: 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := BestMix(big, little, 64, 8, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

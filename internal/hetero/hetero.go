@@ -1,0 +1,280 @@
+// Package hetero extends the paper's model to heterogeneous CMPs — the
+// design space §3 explicitly defers ("a heterogeneous CMP has the
+// potential of being more area efficient overall ... however, the design
+// space is too large for us to include in our model").
+//
+// The extension keeps the paper's machinery: every core class obeys the
+// power law of cache misses with a shared α, but classes differ in die
+// area per core, per-core traffic weight, and per-core performance. The
+// one genuinely new ingredient is cache partitioning: given a total cache
+// budget, how much should each class get? Minimizing total traffic
+//
+//	M = Σ_i P_i · m_i · s_i^-α   subject to  Σ_i P_i · s_i = C
+//
+// has the closed-form water-filling solution
+//
+//	s_i ∝ m_i^(1/(1+α))
+//
+// (heavier traffic ⇒ more cache, sublinearly). Everything else reduces to
+// the homogeneous model when there is a single class, which the tests use
+// to cross-validate against the scaling solver.
+package hetero
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// CoreClass describes one core type.
+type CoreClass struct {
+	Name string
+	// AreaCEA is the die area of one core, in CEAs (baseline core = 1).
+	AreaCEA float64
+	// TrafficWeight m_i is the core's traffic for its share of work with 1
+	// CEA of cache, relative to a baseline core (baseline = 1). Simpler
+	// cores doing less speculative work have weight < 1.
+	TrafficWeight float64
+	// PerfWeight is the core's throughput relative to a baseline core.
+	PerfWeight float64
+}
+
+// Validate reports whether the class is physical.
+func (c CoreClass) Validate() error {
+	switch {
+	case !(c.AreaCEA > 0):
+		return fmt.Errorf("hetero: class %q: area must be positive, got %g", c.Name, c.AreaCEA)
+	case !(c.TrafficWeight > 0):
+		return fmt.Errorf("hetero: class %q: traffic weight must be positive, got %g", c.Name, c.TrafficWeight)
+	case !(c.PerfWeight > 0):
+		return fmt.Errorf("hetero: class %q: perf weight must be positive, got %g", c.Name, c.PerfWeight)
+	}
+	return nil
+}
+
+// Chip is a heterogeneous CMP design point.
+type Chip struct {
+	Classes   []CoreClass
+	Counts    []float64 // cores per class (fractional allowed during search)
+	CacheCEAs float64   // physical cache area
+	Alpha     float64   // workload cache sensitivity
+}
+
+// Validate reports whether the design point is evaluable. At least one
+// class must have a positive count, and cache must be positive (the power
+// law diverges at zero cache).
+func (ch Chip) Validate() error {
+	if len(ch.Classes) == 0 || len(ch.Classes) != len(ch.Counts) {
+		return fmt.Errorf("hetero: need equal non-zero classes (%d) and counts (%d)", len(ch.Classes), len(ch.Counts))
+	}
+	total := 0.0
+	for i, c := range ch.Classes {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if ch.Counts[i] < 0 {
+			return fmt.Errorf("hetero: class %q: negative count %g", c.Name, ch.Counts[i])
+		}
+		total += ch.Counts[i]
+	}
+	if total == 0 {
+		return fmt.Errorf("hetero: chip has no cores")
+	}
+	if !(ch.CacheCEAs > 0) {
+		return fmt.Errorf("hetero: cache must be positive, got %g", ch.CacheCEAs)
+	}
+	if !(ch.Alpha > 0) || ch.Alpha > 1.5 {
+		return fmt.Errorf("hetero: alpha must be in (0, 1.5], got %g", ch.Alpha)
+	}
+	return nil
+}
+
+// CoreAreaCEAs returns the die area occupied by cores.
+func (ch Chip) CoreAreaCEAs() float64 {
+	var a float64
+	for i, c := range ch.Classes {
+		a += ch.Counts[i] * c.AreaCEA
+	}
+	return a
+}
+
+// TotalAreaCEAs returns cores + cache.
+func (ch Chip) TotalAreaCEAs() float64 { return ch.CoreAreaCEAs() + ch.CacheCEAs }
+
+// Throughput returns aggregate performance in baseline-core units.
+func (ch Chip) Throughput() float64 {
+	var w float64
+	for i, c := range ch.Classes {
+		w += ch.Counts[i] * c.PerfWeight
+	}
+	return w
+}
+
+// OptimalPartition returns the per-class cache-per-core allocation s_i that
+// minimizes total traffic, via the water-filling closed form.
+func (ch Chip) OptimalPartition() ([]float64, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	exp := 1 / (1 + ch.Alpha)
+	var denom float64
+	for i, c := range ch.Classes {
+		denom += ch.Counts[i] * math.Pow(c.TrafficWeight, exp)
+	}
+	s := make([]float64, len(ch.Classes))
+	for i, c := range ch.Classes {
+		s[i] = ch.CacheCEAs * math.Pow(c.TrafficWeight, exp) / denom
+	}
+	return s, nil
+}
+
+// Traffic returns total memory traffic in baseline-core units (a baseline
+// core with 1 CEA of cache contributes 1), under the optimal partition.
+// Classes with zero count contribute nothing.
+func (ch Chip) Traffic() (float64, error) {
+	s, err := ch.OptimalPartition()
+	if err != nil {
+		return 0, err
+	}
+	var m float64
+	for i, c := range ch.Classes {
+		if ch.Counts[i] == 0 {
+			continue
+		}
+		m += ch.Counts[i] * c.TrafficWeight * math.Pow(s[i], -ch.Alpha)
+	}
+	return m, nil
+}
+
+// TrafficEqualSplit evaluates traffic when every core gets the same cache
+// share regardless of class — the naive partition, used to quantify the
+// benefit of optimal partitioning.
+func (ch Chip) TrafficEqualSplit() (float64, error) {
+	if err := ch.Validate(); err != nil {
+		return 0, err
+	}
+	var cores float64
+	for _, p := range ch.Counts {
+		cores += p
+	}
+	s := ch.CacheCEAs / cores
+	var m float64
+	for i, c := range ch.Classes {
+		if ch.Counts[i] == 0 {
+			continue
+		}
+		m += ch.Counts[i] * c.TrafficWeight * math.Pow(s, -ch.Alpha)
+	}
+	return m, nil
+}
+
+// DesignPoint is one evaluated mix.
+type DesignPoint struct {
+	Counts     []float64
+	CacheCEAs  float64
+	Traffic    float64
+	Throughput float64
+}
+
+// MaxSecondary finds, for a two-class chip with the primary class count
+// fixed, the largest secondary-class core count (fractional) whose
+// traffic under optimal partitioning fits the budget on a die of n CEAs
+// (remaining area becomes cache). Returns 0 if even a near-zero count
+// exceeds the budget.
+func MaxSecondary(primary, secondary CoreClass, primaryCount, n, budget, alpha float64) (float64, error) {
+	if err := primary.Validate(); err != nil {
+		return 0, err
+	}
+	if err := secondary.Validate(); err != nil {
+		return 0, err
+	}
+	if primaryCount < 0 {
+		return 0, fmt.Errorf("hetero: negative primary count %g", primaryCount)
+	}
+	if !(budget > 0) {
+		return 0, fmt.Errorf("hetero: budget must be positive, got %g", budget)
+	}
+	reserved := primaryCount * primary.AreaCEA
+	if reserved >= n {
+		return 0, fmt.Errorf("hetero: primary cores (%g CEAs) fill the %g-CEA die", reserved, n)
+	}
+	traffic := func(pl float64) float64 {
+		ch := Chip{
+			Classes:   []CoreClass{primary, secondary},
+			Counts:    []float64{primaryCount, pl},
+			CacheCEAs: n - reserved - pl*secondary.AreaCEA,
+			Alpha:     alpha,
+		}
+		m, err := ch.Traffic()
+		if err != nil {
+			return math.Inf(1)
+		}
+		return m
+	}
+	maxPl := (n - reserved) / secondary.AreaCEA
+	lo := maxPl * 1e-9
+	hi := maxPl * (1 - 1e-9)
+	f := func(pl float64) float64 { return traffic(pl) - budget }
+	if f(lo) > 0 {
+		return 0, nil
+	}
+	if f(hi) <= 0 {
+		return hi, nil
+	}
+	root, err := numeric.Brent(f, lo, hi, 1e-9)
+	if err != nil {
+		return 0, err
+	}
+	return root, nil
+}
+
+// BestMix sweeps primary-class counts 0..limit and, for each, fills the
+// die with as many secondary cores as the budget allows, returning the
+// mix with the highest throughput. Counts are integers for the primary
+// class and floored for the secondary (whole cores only).
+func BestMix(primary, secondary CoreClass, n, budget, alpha float64) (DesignPoint, error) {
+	if err := primary.Validate(); err != nil {
+		return DesignPoint{}, err
+	}
+	best := DesignPoint{Throughput: -1}
+	limit := int(n / primary.AreaCEA)
+	for pb := 0; pb <= limit; pb++ {
+		if float64(pb)*primary.AreaCEA >= n {
+			break
+		}
+		plExact, err := MaxSecondary(primary, secondary, float64(pb), n, budget, alpha)
+		if err != nil {
+			return DesignPoint{}, err
+		}
+		pl := math.Floor(plExact)
+		ch := Chip{
+			Classes:   []CoreClass{primary, secondary},
+			Counts:    []float64{float64(pb), pl},
+			CacheCEAs: n - float64(pb)*primary.AreaCEA - pl*secondary.AreaCEA,
+			Alpha:     alpha,
+		}
+		if ch.CacheCEAs <= 0 {
+			continue
+		}
+		m, err := ch.Traffic()
+		if err != nil {
+			continue // zero-core corner: skip
+		}
+		if m > budget*(1+1e-9) {
+			continue
+		}
+		if tp := ch.Throughput(); tp > best.Throughput {
+			best = DesignPoint{
+				Counts:     []float64{float64(pb), pl},
+				CacheCEAs:  ch.CacheCEAs,
+				Traffic:    m,
+				Throughput: tp,
+			}
+		}
+	}
+	if best.Throughput < 0 {
+		return DesignPoint{}, fmt.Errorf("hetero: no feasible mix on %g CEAs within budget %g", n, budget)
+	}
+	return best, nil
+}

@@ -1,0 +1,289 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/scaling"
+	"repro/internal/technique"
+)
+
+func baselineClass() CoreClass {
+	return CoreClass{Name: "base", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
+}
+
+func littleClass() CoreClass {
+	// A Niagara-like little core: quarter area, half performance, and 40%
+	// of the traffic (less speculation wastes less bandwidth).
+	return CoreClass{Name: "little", AreaCEA: 0.25, TrafficWeight: 0.4, PerfWeight: 0.5}
+}
+
+func TestCoreClassValidate(t *testing.T) {
+	if err := baselineClass().Validate(); err != nil {
+		t.Errorf("valid class rejected: %v", err)
+	}
+	bad := []CoreClass{
+		{Name: "a", AreaCEA: 0, TrafficWeight: 1, PerfWeight: 1},
+		{Name: "b", AreaCEA: 1, TrafficWeight: 0, PerfWeight: 1},
+		{Name: "c", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid class %q accepted", c.Name)
+		}
+	}
+}
+
+func TestChipValidate(t *testing.T) {
+	good := Chip{
+		Classes:   []CoreClass{baselineClass()},
+		Counts:    []float64{8},
+		CacheCEAs: 8,
+		Alpha:     0.5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid chip rejected: %v", err)
+	}
+	cases := []Chip{
+		{Classes: nil, Counts: nil, CacheCEAs: 8, Alpha: 0.5},
+		{Classes: []CoreClass{baselineClass()}, Counts: []float64{1, 2}, CacheCEAs: 8, Alpha: 0.5},
+		{Classes: []CoreClass{baselineClass()}, Counts: []float64{-1}, CacheCEAs: 8, Alpha: 0.5},
+		{Classes: []CoreClass{baselineClass()}, Counts: []float64{0}, CacheCEAs: 8, Alpha: 0.5},
+		{Classes: []CoreClass{baselineClass()}, Counts: []float64{8}, CacheCEAs: 0, Alpha: 0.5},
+		{Classes: []CoreClass{baselineClass()}, Counts: []float64{8}, CacheCEAs: 8, Alpha: 0},
+	}
+	for i, ch := range cases {
+		if err := ch.Validate(); err == nil {
+			t.Errorf("case %d: invalid chip accepted", i)
+		}
+	}
+}
+
+func TestHomogeneousMatchesPaperBaseline(t *testing.T) {
+	// The paper's baseline chip in hetero clothing: traffic must be 8
+	// baseline units (8 cores × 1 × 1^-α).
+	ch := Chip{
+		Classes:   []CoreClass{baselineClass()},
+		Counts:    []float64{8},
+		CacheCEAs: 8,
+		Alpha:     0.5,
+	}
+	m, err := ch.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(m, 8, 1e-12) {
+		t.Errorf("baseline traffic = %v, want 8", m)
+	}
+	if ch.Throughput() != 8 || ch.CoreAreaCEAs() != 8 || ch.TotalAreaCEAs() != 16 {
+		t.Errorf("chip accounting wrong: %+v", ch)
+	}
+}
+
+// TestHomogeneousCrossValidation: with a single baseline class, hetero's
+// MaxSecondary must reproduce the homogeneous solver's answer exactly.
+func TestHomogeneousCrossValidation(t *testing.T) {
+	s := scaling.MustNew(power.Baseline(), 0.5)
+	for _, n := range []float64{32, 64, 256} {
+		want, err := s.SupportableCores(technique.Combine(), n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Budget in hetero units: baseline chip traffic is 8.
+		got, err := MaxSecondary(baselineClass(), baselineClass(), 0, n, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(got, want, 1e-6) {
+			t.Errorf("n=%g: hetero %v vs homogeneous %v", n, got, want)
+		}
+	}
+}
+
+func TestOptimalPartitionClosedForm(t *testing.T) {
+	// Symmetric classes get equal shares.
+	ch := Chip{
+		Classes:   []CoreClass{baselineClass(), baselineClass()},
+		Counts:    []float64{4, 4},
+		CacheCEAs: 8,
+		Alpha:     0.5,
+	}
+	s, err := ch.OptimalPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(s[0], 1, 1e-12) || !numeric.AlmostEqual(s[1], 1, 1e-12) {
+		t.Errorf("symmetric partition = %v, want [1 1]", s)
+	}
+	// A heavier-traffic class gets more cache, sublinearly: the ratio is
+	// (m1/m2)^(1/(1+α)).
+	heavy := baselineClass()
+	heavy.TrafficWeight = 4
+	ch2 := Chip{
+		Classes:   []CoreClass{heavy, baselineClass()},
+		Counts:    []float64{4, 4},
+		CacheCEAs: 8,
+		Alpha:     0.5,
+	}
+	s2, err := ch2.OptimalPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRatio := math.Pow(4, 1/1.5)
+	if !numeric.AlmostEqual(s2[0]/s2[1], wantRatio, 1e-9) {
+		t.Errorf("partition ratio = %v, want %v", s2[0]/s2[1], wantRatio)
+	}
+	// Budget conservation.
+	total := 4*s2[0] + 4*s2[1]
+	if !numeric.AlmostEqual(total, 8, 1e-9) {
+		t.Errorf("cache not conserved: %v", total)
+	}
+}
+
+func TestOptimalBeatsEqualSplit(t *testing.T) {
+	heavy := baselineClass()
+	heavy.TrafficWeight = 3
+	ch := Chip{
+		Classes:   []CoreClass{heavy, littleClass()},
+		Counts:    []float64{4, 12},
+		CacheCEAs: 9,
+		Alpha:     0.5,
+	}
+	opt, err := ch.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := ch.TrafficEqualSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt < naive) {
+		t.Errorf("optimal (%v) does not beat equal split (%v)", opt, naive)
+	}
+}
+
+func TestOptimalIsStationaryQuick(t *testing.T) {
+	// Property: perturbing the optimal partition (moving cache between two
+	// classes) never reduces traffic.
+	prop := func(w8, d8 uint8) bool {
+		w := 0.3 + float64(w8)/64 // traffic weight of class 0
+		delta := (float64(d8)/255 - 0.5) * 0.2
+		ch := Chip{
+			Classes: []CoreClass{
+				{Name: "a", AreaCEA: 1, TrafficWeight: w, PerfWeight: 1},
+				{Name: "b", AreaCEA: 0.5, TrafficWeight: 1, PerfWeight: 0.7},
+			},
+			Counts:    []float64{4, 8},
+			CacheCEAs: 10,
+			Alpha:     0.5,
+		}
+		s, err := ch.OptimalPartition()
+		if err != nil {
+			return false
+		}
+		opt, err := ch.Traffic()
+		if err != nil {
+			return false
+		}
+		// Perturb: class 0 gains delta per core, class 1 loses to conserve.
+		s0 := s[0] + delta
+		s1 := s[1] - delta*ch.Counts[0]/ch.Counts[1]
+		if s0 <= 0 || s1 <= 0 {
+			return true
+		}
+		perturbed := ch.Counts[0]*ch.Classes[0].TrafficWeight*math.Pow(s0, -ch.Alpha) +
+			ch.Counts[1]*ch.Classes[1].TrafficWeight*math.Pow(s1, -ch.Alpha)
+		return perturbed >= opt-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSecondaryBehaviour(t *testing.T) {
+	big := baselineClass()
+	little := littleClass()
+	// Reserving big cores leaves fewer littles.
+	with0, err := MaxSecondary(big, little, 0, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with4, err := MaxSecondary(big, little, 4, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(with4 < with0) {
+		t.Errorf("big cores did not displace littles: %v vs %v", with4, with0)
+	}
+	// Littles being bandwidth-lean, many more of them fit than baselines.
+	base, err := MaxSecondary(big, big, 0, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(with0 > base) {
+		t.Errorf("littles (%v) should out-count baselines (%v) under the same envelope", with0, base)
+	}
+	// Errors.
+	if _, err := MaxSecondary(big, little, -1, 32, 8, 0.5); err == nil {
+		t.Error("negative primary count accepted")
+	}
+	if _, err := MaxSecondary(big, little, 40, 32, 8, 0.5); err == nil {
+		t.Error("primary cores exceeding the die accepted")
+	}
+	if _, err := MaxSecondary(big, little, 0, 32, 0, 0.5); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad := big
+	bad.AreaCEA = 0
+	if _, err := MaxSecondary(bad, little, 0, 32, 8, 0.5); err == nil {
+		t.Error("invalid primary accepted")
+	}
+	if _, err := MaxSecondary(big, bad, 0, 32, 8, 0.5); err == nil {
+		t.Error("invalid secondary accepted")
+	}
+}
+
+func TestMaxSecondaryHugeBudgetSaturates(t *testing.T) {
+	got, err := MaxSecondary(baselineClass(), littleClass(), 0, 32, 1e9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 127 || got > 128 {
+		t.Errorf("saturated littles = %v, want ≈128 (32 CEAs / 0.25)", got)
+	}
+}
+
+func TestBestMixPrefersFeasibleThroughput(t *testing.T) {
+	big := baselineClass()
+	big.PerfWeight = 2 // big cores are fast but hungry
+	big.TrafficWeight = 1.5
+	little := littleClass()
+	best, err := BestMix(big, little, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Traffic > 8*(1+1e-9) {
+		t.Errorf("best mix exceeds budget: %v", best.Traffic)
+	}
+	if best.Throughput <= 0 || best.CacheCEAs <= 0 {
+		t.Errorf("degenerate best mix: %+v", best)
+	}
+	// It must beat the homogeneous all-big design under the same budget.
+	allBig, err := MaxSecondary(big, big, 0, 32, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Throughput < math.Floor(allBig)*big.PerfWeight {
+		t.Errorf("hetero best (%v) worse than all-big (%v cores)", best.Throughput, allBig)
+	}
+}
+
+func TestBestMixInfeasible(t *testing.T) {
+	hog := CoreClass{Name: "hog", AreaCEA: 1, TrafficWeight: 1e9, PerfWeight: 1}
+	if _, err := BestMix(hog, hog, 4, 0.001, 0.5); err == nil {
+		t.Error("infeasible design space accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Package memsys models the off-chip memory channel as a queueing system,
+// grounding the paper's §1 premise: "if the provided off-chip memory
+// bandwidth cannot sustain the rate at which memory requests are generated,
+// then the extra queuing delay for memory requests will force the
+// performance of the cores to decline until the rate of memory requests
+// matches the available off-chip bandwidth."
+//
+// The channel is modeled as M/D/1 (Poisson arrivals, deterministic service
+// — a DRAM burst of fixed length), which captures the hockey-stick latency
+// growth as utilization approaches 1, and a saturation throughput model for
+// the post-wall regime.
+package memsys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Channel is one off-chip memory channel.
+type Channel struct {
+	// BandwidthBytesPerSec is the peak transfer rate.
+	BandwidthBytesPerSec float64
+	// BurstBytes is the fixed transfer unit (one cache line).
+	BurstBytes float64
+	// BaseLatencySec is the unloaded access latency (DRAM core latency).
+	BaseLatencySec float64
+}
+
+// NewChannel validates and constructs a Channel.
+func NewChannel(bw, burst, baseLatency float64) (Channel, error) {
+	c := Channel{BandwidthBytesPerSec: bw, BurstBytes: burst, BaseLatencySec: baseLatency}
+	if err := c.Validate(); err != nil {
+		return Channel{}, err
+	}
+	return c, nil
+}
+
+// Validate reports whether the channel is physical.
+func (c Channel) Validate() error {
+	switch {
+	case !(c.BandwidthBytesPerSec > 0):
+		return fmt.Errorf("memsys: bandwidth must be positive, got %g", c.BandwidthBytesPerSec)
+	case !(c.BurstBytes > 0):
+		return fmt.Errorf("memsys: burst size must be positive, got %g", c.BurstBytes)
+	case c.BaseLatencySec < 0:
+		return fmt.Errorf("memsys: base latency must be non-negative, got %g", c.BaseLatencySec)
+	}
+	return nil
+}
+
+// ServiceTime returns the time to transfer one burst.
+func (c Channel) ServiceTime() float64 {
+	return c.BurstBytes / c.BandwidthBytesPerSec
+}
+
+// Utilization returns ρ for an offered load in bytes/sec.
+func (c Channel) Utilization(offeredBytesPerSec float64) float64 {
+	return offeredBytesPerSec / c.BandwidthBytesPerSec
+}
+
+// Latency returns the expected request latency (queueing + service + base)
+// for an offered load, using the M/D/1 waiting time
+//
+//	W = ρ/(2μ(1−ρ)) with μ = 1/serviceTime.
+//
+// It returns +Inf at or beyond saturation (ρ ≥ 1).
+func (c Channel) Latency(offeredBytesPerSec float64) float64 {
+	rho := c.Utilization(offeredBytesPerSec)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	s := c.ServiceTime()
+	wait := rho * s / (2 * (1 - rho))
+	return c.BaseLatencySec + s + wait
+}
+
+// DeliveredBytesPerSec returns the throughput the channel actually carries
+// under an offered load: the load itself below saturation, the peak
+// bandwidth above it.
+func (c Channel) DeliveredBytesPerSec(offeredBytesPerSec float64) float64 {
+	if offeredBytesPerSec <= c.BandwidthBytesPerSec {
+		return offeredBytesPerSec
+	}
+	return c.BandwidthBytesPerSec
+}
+
+// ThroughputScale returns the factor by which core throughput degrades
+// when the chip's traffic demand exceeds the channel: cores stall until the
+// request rate matches bandwidth, so useful work scales by capacity/demand
+// (1 below the wall). This is the mechanism behind the paper's claim that
+// cores beyond the bandwidth envelope add no performance.
+func (c Channel) ThroughputScale(demandBytesPerSec float64) float64 {
+	if demandBytesPerSec <= c.BandwidthBytesPerSec {
+		return 1
+	}
+	return c.BandwidthBytesPerSec / demandBytesPerSec
+}
+
+// ChipThroughput models the aggregate useful throughput (in per-core units
+// of the baseline) of p cores whose per-core traffic demand is
+// trafficPerCore bytes/sec: p below the wall, saturating beyond it.
+func (c Channel) ChipThroughput(p, trafficPerCore float64) float64 {
+	if p <= 0 || trafficPerCore < 0 {
+		return 0
+	}
+	demand := p * trafficPerCore
+	return p * c.ThroughputScale(demand)
+}
+
+// KneeCores returns the core count at which demand meets the channel: the
+// bandwidth wall's location for a given per-core traffic rate.
+func (c Channel) KneeCores(trafficPerCore float64) float64 {
+	if trafficPerCore <= 0 {
+		return math.Inf(1)
+	}
+	return c.BandwidthBytesPerSec / trafficPerCore
+}

@@ -1,0 +1,146 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func testChannel(t *testing.T) Channel {
+	t.Helper()
+	// Niagara2-like: 42 GB/s, 64-byte bursts, 60 ns unloaded latency.
+	c, err := NewChannel(42e9, 64, 60e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(42e9, 64, 60e-9); err != nil {
+		t.Errorf("valid channel rejected: %v", err)
+	}
+	bad := [][3]float64{
+		{0, 64, 1e-9},
+		{-1, 64, 1e-9},
+		{42e9, 0, 1e-9},
+		{42e9, 64, -1},
+	}
+	for i, b := range bad {
+		if _, err := NewChannel(b[0], b[1], b[2]); err == nil {
+			t.Errorf("case %d: invalid channel accepted", i)
+		}
+	}
+}
+
+func TestServiceTimeAndUtilization(t *testing.T) {
+	c := testChannel(t)
+	if got := c.ServiceTime(); !numeric.AlmostEqual(got, 64/42e9, 1e-15) {
+		t.Errorf("service time = %v", got)
+	}
+	if got := c.Utilization(21e9); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestLatencyHockeyStick(t *testing.T) {
+	c := testChannel(t)
+	// Unloaded: base + service.
+	if got := c.Latency(0); !numeric.AlmostEqual(got, 60e-9+c.ServiceTime(), 1e-15) {
+		t.Errorf("unloaded latency = %v", got)
+	}
+	// Latency is strictly increasing in load and explodes near saturation.
+	prev := 0.0
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		l := c.Latency(frac * c.BandwidthBytesPerSec)
+		if l <= prev {
+			t.Errorf("latency not increasing at ρ=%v", frac)
+		}
+		prev = l
+	}
+	l50 := c.Latency(0.50 * c.BandwidthBytesPerSec)
+	l99 := c.Latency(0.99 * c.BandwidthBytesPerSec)
+	if l99 < 10*(l50-60e-9) {
+		t.Errorf("no hockey stick: ρ=0.5→%v, ρ=0.99→%v", l50, l99)
+	}
+	if !math.IsInf(c.Latency(c.BandwidthBytesPerSec), 1) {
+		t.Error("saturated latency must be +Inf")
+	}
+	if !math.IsInf(c.Latency(2*c.BandwidthBytesPerSec), 1) {
+		t.Error("oversaturated latency must be +Inf")
+	}
+}
+
+func TestDeliveredSaturates(t *testing.T) {
+	c := testChannel(t)
+	if got := c.DeliveredBytesPerSec(10e9); got != 10e9 {
+		t.Errorf("under-load delivered = %v", got)
+	}
+	if got := c.DeliveredBytesPerSec(100e9); got != 42e9 {
+		t.Errorf("over-load delivered = %v, want peak", got)
+	}
+}
+
+func TestThroughputScale(t *testing.T) {
+	c := testChannel(t)
+	if c.ThroughputScale(10e9) != 1 {
+		t.Error("below the wall, no degradation")
+	}
+	if got := c.ThroughputScale(84e9); got != 0.5 {
+		t.Errorf("2x oversubscription scale = %v, want 0.5", got)
+	}
+}
+
+// TestCoresBeyondTheWallAddNothing is the paper's §1 claim as arithmetic:
+// chip throughput grows linearly with cores up to the knee and is flat
+// beyond it.
+func TestCoresBeyondTheWallAddNothing(t *testing.T) {
+	c := testChannel(t)
+	perCore := 3e9 // bytes/sec/core ⇒ knee at 14 cores
+	knee := c.KneeCores(perCore)
+	if knee != 14 {
+		t.Fatalf("knee = %v, want 14", knee)
+	}
+	below := c.ChipThroughput(10, perCore)
+	if below != 10 {
+		t.Errorf("below-wall throughput = %v, want 10", below)
+	}
+	at := c.ChipThroughput(14, perCore)
+	beyond := c.ChipThroughput(28, perCore)
+	if !numeric.AlmostEqual(at, 14, 1e-12) {
+		t.Errorf("at-wall throughput = %v", at)
+	}
+	if !numeric.AlmostEqual(beyond, 14, 1e-12) {
+		t.Errorf("beyond-wall throughput = %v, want flat 14", beyond)
+	}
+}
+
+func TestKneeCoresEdge(t *testing.T) {
+	c := testChannel(t)
+	if !math.IsInf(c.KneeCores(0), 1) {
+		t.Error("zero traffic ⇒ infinite knee")
+	}
+	if got := c.ChipThroughput(0, 1e9); got != 0 {
+		t.Errorf("zero cores throughput = %v", got)
+	}
+	if got := c.ChipThroughput(5, -1); got != 0 {
+		t.Errorf("negative traffic throughput = %v", got)
+	}
+}
+
+func TestQuickThroughputMonotoneAndBounded(t *testing.T) {
+	c := testChannel(t)
+	prop := func(p8, t8 uint8) bool {
+		p := 1 + float64(p8%100)
+		perCore := 1e8 * (1 + float64(t8))
+		tp := c.ChipThroughput(p, perCore)
+		tpMore := c.ChipThroughput(p+1, perCore)
+		kneeLimit := c.BandwidthBytesPerSec / perCore
+		return tpMore >= tp-1e-9 && tp <= math.Min(p, kneeLimit)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package memsys
+
+import "fmt"
+
+// DRAMRefresh models the refresh cost of on-chip DRAM caches — the other
+// implementation aspect §6.1 flags ("the refresh capacity needed for
+// DRAM"). While a row is being refreshed its bank is unavailable, so
+// refresh consumes a fraction of the array's bandwidth that grows with
+// capacity.
+type DRAMRefresh struct {
+	// RetentionMS is the retention time within which every row must be
+	// refreshed once (64ms for commodity DRAM; embedded DRAM is shorter,
+	// often 1–4ms).
+	RetentionMS float64
+	// RowBytes is the refresh granularity.
+	RowBytes float64
+	// RowRefreshNS is the time one row refresh occupies its bank.
+	RowRefreshNS float64
+	// Banks refresh independently in parallel.
+	Banks int
+}
+
+// Validate reports whether the parameters are physical.
+func (d DRAMRefresh) Validate() error {
+	switch {
+	case !(d.RetentionMS > 0):
+		return fmt.Errorf("memsys: retention must be positive, got %g", d.RetentionMS)
+	case !(d.RowBytes > 0):
+		return fmt.Errorf("memsys: row size must be positive, got %g", d.RowBytes)
+	case !(d.RowRefreshNS > 0):
+		return fmt.Errorf("memsys: row refresh time must be positive, got %g", d.RowRefreshNS)
+	case d.Banks < 1:
+		return fmt.Errorf("memsys: need at least one bank, got %d", d.Banks)
+	}
+	return nil
+}
+
+// EmbeddedDRAM returns parameters typical of on-die DRAM caches: 2ms
+// retention, 2KB rows, 50ns per row refresh, 64 banks.
+func EmbeddedDRAM() DRAMRefresh {
+	return DRAMRefresh{RetentionMS: 2, RowBytes: 2048, RowRefreshNS: 50, Banks: 64}
+}
+
+// OverheadFraction returns the fraction of array time spent refreshing a
+// cache of the given capacity: rows·t_refresh / (banks·retention). Values
+// ≥ 1 mean the array cannot even refresh itself in time.
+func (d DRAMRefresh) OverheadFraction(capacityBytes float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if capacityBytes < 0 {
+		return 0, fmt.Errorf("memsys: negative capacity %g", capacityBytes)
+	}
+	rows := capacityBytes / d.RowBytes
+	busy := rows * d.RowRefreshNS // ns of refresh work per retention period
+	window := d.RetentionMS * 1e6 * float64(d.Banks)
+	return busy / window, nil
+}
+
+// EffectiveDensity discounts a DRAM density claim by the refresh overhead:
+// the bandwidth lost to refresh is modeled as equivalently lost capacity
+// (a conservative, first-order equivalence). Returns at least 1 (DRAM
+// never below SRAM density in area terms).
+func (d DRAMRefresh) EffectiveDensity(density float64, capacityBytes float64) (float64, error) {
+	if !(density >= 1) {
+		return 0, fmt.Errorf("memsys: density must be ≥ 1, got %g", density)
+	}
+	oh, err := d.OverheadFraction(capacityBytes)
+	if err != nil {
+		return 0, err
+	}
+	if oh >= 1 {
+		return 1, nil
+	}
+	eff := density * (1 - oh)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff, nil
+}

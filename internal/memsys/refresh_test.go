@@ -1,0 +1,86 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestDRAMRefreshValidate(t *testing.T) {
+	if err := EmbeddedDRAM().Validate(); err != nil {
+		t.Errorf("embedded defaults rejected: %v", err)
+	}
+	bad := []DRAMRefresh{
+		{RetentionMS: 0, RowBytes: 2048, RowRefreshNS: 50, Banks: 64},
+		{RetentionMS: 2, RowBytes: 0, RowRefreshNS: 50, Banks: 64},
+		{RetentionMS: 2, RowBytes: 2048, RowRefreshNS: 0, Banks: 64},
+		{RetentionMS: 2, RowBytes: 2048, RowRefreshNS: 50, Banks: 0},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid refresh accepted", i)
+		}
+	}
+}
+
+func TestOverheadFractionArithmetic(t *testing.T) {
+	d := EmbeddedDRAM()
+	// 32MB: 16384 rows × 50ns = 0.8192ms of work per 2ms×64banks window.
+	got, err := d.OverheadFraction(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (32 << 20) / 2048.0 * 50 / (2e6 * 64)
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("overhead = %v, want %v", got, want)
+	}
+	// Zero capacity refreshes nothing.
+	if z, _ := d.OverheadFraction(0); z != 0 {
+		t.Errorf("zero capacity overhead = %v", z)
+	}
+	if _, err := d.OverheadFraction(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestOverheadGrowsWithCapacity(t *testing.T) {
+	d := EmbeddedDRAM()
+	prev := -1.0
+	for _, mb := range []float64{8, 32, 128, 512} {
+		oh, err := d.OverheadFraction(mb * (1 << 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oh <= prev {
+			t.Errorf("overhead not growing at %vMB", mb)
+		}
+		prev = oh
+	}
+}
+
+func TestEffectiveDensity(t *testing.T) {
+	d := EmbeddedDRAM()
+	// Small cache: negligible refresh, density ≈ 8.
+	eff, err := d.EffectiveDensity(8, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff < 7.9 || eff > 8 {
+		t.Errorf("8MB effective density = %v, want ≈8", eff)
+	}
+	// Gigantic cache: refresh swallows the array; density floors at 1.
+	eff, err = d.EffectiveDensity(8, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 1 {
+		t.Errorf("saturated effective density = %v, want 1", eff)
+	}
+	if _, err := d.EffectiveDensity(0.5, 8<<20); err == nil {
+		t.Error("sub-SRAM density accepted")
+	}
+	bad := DRAMRefresh{}
+	if _, err := bad.EffectiveDensity(8, 1); err == nil {
+		t.Error("invalid refresh model accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func BenchmarkCMPAccess(b *testing.B) {
+	cmp, err := New(Config{
+		Cores: 16,
+		L1: cachesim.Config{
+			SizeBytes: 16 * 1024, LineBytes: 64, Assoc: 4,
+			Policy: cachesim.LRU, WriteBack: true, WriteAllocate: true,
+		},
+		L2: cachesim.Config{
+			SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8,
+			Policy: cachesim.LRU, WriteBack: true, WriteAllocate: true,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.NewSharedPrivate(workload.SharedPrivateConfig{
+		Threads: 16, SharedLines: 1 << 13, PrivateLines: 1 << 13,
+		SharedAccessFrac: 0.5, Skew: 1.1, WriteFraction: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.Collect(g, 1<<17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cmp.Access(tr[i&(1<<17-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package multicore simulates a CMP with per-core private L1 caches and a
+// shared L2, tracking which cores touch each L2 line during its lifetime.
+// It is the substrate for the paper's Fig 14: "each time a cache line is
+// evicted from the shared cache, we record whether the block is accessed by
+// more than one core or not during the block's lifetime."
+package multicore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cachesim"
+	"repro/internal/trace"
+)
+
+// Config describes the simulated CMP.
+type Config struct {
+	Cores int             // number of cores (≤ 64: sharer masks are one word)
+	L1    cachesim.Config // per-core private L1
+	L2    cachesim.Config // shared L2
+}
+
+// Validate reports whether the CMP is realizable.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.Cores > 64 {
+		return fmt.Errorf("multicore: cores must be in [1, 64], got %d", c.Cores)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("multicore: L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("multicore: L2: %w", err)
+	}
+	return nil
+}
+
+// SharingStats summarizes L2 line lifetimes.
+type SharingStats struct {
+	// EvictedLines counts completed lifetimes (evictions).
+	EvictedLines uint64
+	// EvictedShared counts evicted lines that were touched by ≥2 cores.
+	EvictedShared uint64
+	// LiveLines / LiveShared snapshot the same for still-resident lines.
+	LiveLines  uint64
+	LiveShared uint64
+}
+
+// SharedFraction returns the Fig 14 metric: the fraction of evicted lines
+// accessed by more than one core during their lifetime. If nothing has
+// been evicted yet, resident lines are used instead.
+func (s SharingStats) SharedFraction() float64 {
+	if s.EvictedLines > 0 {
+		return float64(s.EvictedShared) / float64(s.EvictedLines)
+	}
+	if s.LiveLines > 0 {
+		return float64(s.LiveShared) / float64(s.LiveLines)
+	}
+	return 0
+}
+
+// CMP is the simulated chip.
+type CMP struct {
+	cfg     Config
+	l1s     []*cachesim.Cache
+	l2      *cachesim.Cache
+	sharers map[uint64]uint64 // resident L2 line -> sharer core bitmask
+	stats   SharingStats
+}
+
+// New builds the CMP.
+func New(cfg Config) (*CMP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cmp := &CMP{
+		cfg:     cfg,
+		l1s:     make([]*cachesim.Cache, cfg.Cores),
+		sharers: make(map[uint64]uint64, cfg.L2.Lines()),
+	}
+	for i := range cmp.l1s {
+		l1, err := cachesim.New(cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		cmp.l1s[i] = l1
+	}
+	l2, err := cachesim.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	cmp.l2 = l2
+	return cmp, nil
+}
+
+// L2 exposes the shared cache (for stats).
+func (c *CMP) L2() *cachesim.Cache { return c.l2 }
+
+// L1 exposes core i's private cache.
+func (c *CMP) L1(i int) *cachesim.Cache { return c.l1s[i] }
+
+// Access routes one reference: the issuing core's L1 first, then the
+// shared L2 on an L1 miss. Sharer masks are updated on every L2-visible
+// access; evictions harvest a lifetime sample.
+func (c *CMP) Access(a trace.Access) error {
+	core := int(a.TID)
+	if core >= c.cfg.Cores {
+		return fmt.Errorf("multicore: access from core %d on a %d-core chip", core, c.cfg.Cores)
+	}
+	l1res := c.l1s[core].Access(a)
+	if l1res.Hit {
+		return nil
+	}
+	line := a.Line(c.cfg.L2.LineBytes)
+	res := c.l2.Access(a)
+	if res.Evicted {
+		// One resident line ended its lifetime. We do not know which from
+		// the Result, but the sharer map and the cache disagree on exactly
+		// one line now; reconcile lazily below.
+		c.reconcile(line)
+	}
+	c.sharers[line] |= 1 << uint(core)
+	return nil
+}
+
+// reconcile finds map entries whose lines are no longer resident and
+// harvests them. To stay O(1) amortized it only scans when the map has
+// outgrown the cache by a margin.
+func (c *CMP) reconcile(justInserted uint64) {
+	if len(c.sharers) < c.cfg.L2.Lines()+64 {
+		return
+	}
+	for line, mask := range c.sharers {
+		if line == justInserted {
+			continue
+		}
+		if !c.l2.Contains(line * uint64(c.cfg.L2.LineBytes)) {
+			c.stats.EvictedLines++
+			if bits.OnesCount64(mask) > 1 {
+				c.stats.EvictedShared++
+			}
+			delete(c.sharers, line)
+		}
+	}
+}
+
+// Run drives n accesses from the generator through the chip.
+func (c *CMP) Run(g trace.Generator, n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.Access(g.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sharing returns the sharing statistics, including a snapshot of
+// still-resident lines.
+func (c *CMP) Sharing() SharingStats {
+	st := c.stats
+	for line, mask := range c.sharers {
+		if !c.l2.Contains(line * uint64(c.cfg.L2.LineBytes)) {
+			st.EvictedLines++
+			if bits.OnesCount64(mask) > 1 {
+				st.EvictedShared++
+			}
+			continue
+		}
+		st.LiveLines++
+		if bits.OnesCount64(mask) > 1 {
+			st.LiveShared++
+		}
+	}
+	return st
+}
+
+// MemoryTrafficBytes returns bytes exchanged with off-chip memory.
+func (c *CMP) MemoryTrafficBytes() uint64 { return c.l2.Stats().TrafficBytes() }

@@ -1,0 +1,95 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// LinFit holds the result of an ordinary least-squares line fit
+// y = Slope*x + Intercept.
+type LinFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int     // number of points used
+}
+
+// Linreg performs ordinary least-squares regression of ys on xs.
+// It requires at least two points with distinct x values.
+func Linreg(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) {
+		return LinFit{}, errors.New("numeric: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return LinFit{}, errors.New("numeric: need at least 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinFit{}, errors.New("numeric: degenerate x values")
+	}
+	slope := sxy / sxx
+	fit := LinFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         len(xs),
+	}
+	if syy == 0 {
+		fit.R2 = 1 // perfectly flat data, perfectly fit by a flat line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// PowerFit holds a fitted power law y = Coeff * x^Exponent.
+type PowerFit struct {
+	Exponent float64
+	Coeff    float64
+	R2       float64
+	N        int
+}
+
+// LogLogFit fits y = c * x^e by linear regression in log-log space. Points
+// with non-positive x or y are skipped (they have no logarithm); at least
+// two usable points are required.
+func LogLogFit(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) {
+		return PowerFit{}, errors.New("numeric: mismatched sample lengths")
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	lin, err := Linreg(lx, ly)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	return PowerFit{
+		Exponent: lin.Slope,
+		Coeff:    math.Exp(lin.Intercept),
+		R2:       lin.R2,
+		N:        lin.N,
+	}, nil
+}
+
+// Eval evaluates the fitted power law at x.
+func (p PowerFit) Eval(x float64) float64 {
+	return p.Coeff * math.Pow(x, p.Exponent)
+}

@@ -1,0 +1,123 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinregPerfectLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	fit, err := Linreg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(fit.Slope, 2, 1e-12) || !AlmostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !AlmostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Errorf("N = %d, want 5", fit.N)
+	}
+}
+
+func TestLinregNoisyLineR2(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		noise := 0.1 * math.Sin(float64(i)*2.399) // deterministic pseudo-noise
+		ys[i] = 3*x - 2 + noise
+	}
+	fit, err := Linreg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.05 {
+		t.Errorf("slope = %v, want ≈3", fit.Slope)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ≥0.999", fit.R2)
+	}
+}
+
+func TestLinregErrors(t *testing.T) {
+	if _, err := Linreg([]float64{1}, []float64{2}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := Linreg([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := Linreg([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for degenerate x")
+	}
+}
+
+func TestLinregFlatData(t *testing.T) {
+	fit, err := Linreg([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("flat data: fit = %+v", fit)
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// m(C) = 0.1 * (C/64)^-0.5 — exactly the paper's miss-rate form.
+	sizes := []float64{64, 128, 256, 512, 1024, 2048, 4096}
+	miss := make([]float64, len(sizes))
+	for i, c := range sizes {
+		miss[i] = 0.1 * math.Pow(c/64, -0.5)
+	}
+	fit, err := LogLogFit(sizes, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(fit.Exponent, -0.5, 1e-9) {
+		t.Errorf("exponent = %v, want -0.5", fit.Exponent)
+	}
+	if !AlmostEqual(fit.Eval(64), 0.1, 1e-9) {
+		t.Errorf("Eval(64) = %v, want 0.1", fit.Eval(64))
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLogLogFitSkipsNonPositive(t *testing.T) {
+	xs := []float64{-1, 0, 10, 100, 1000}
+	ys := []float64{5, 5, 1, 0.1, 0.01} // y = 10/x on the positive points
+	fit, err := LogLogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 3 {
+		t.Errorf("N = %d, want 3 (non-positive skipped)", fit.N)
+	}
+	if !AlmostEqual(fit.Exponent, -1, 1e-9) {
+		t.Errorf("exponent = %v, want -1", fit.Exponent)
+	}
+}
+
+func TestLogLogFitQuickProperty(t *testing.T) {
+	// Property: LogLogFit recovers arbitrary exponents in (−1.5, −0.05).
+	prop := func(e8 uint8, c8 uint8) bool {
+		exp := -0.05 - float64(e8%100)/100*1.45
+		coeff := 0.01 + float64(c8)/256
+		xs := []float64{1, 4, 16, 64, 256, 1024}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = coeff * math.Pow(x, exp)
+		}
+		fit, err := LogLogFit(xs, ys)
+		return err == nil &&
+			AlmostEqual(fit.Exponent, exp, 1e-6) &&
+			AlmostEqual(fit.Coeff, coeff, 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package numeric provides the small numerical toolkit the bandwidth-wall
+// model is built on: scalar root finding (bisection, Brent, Newton),
+// least-squares line fitting (including log-log fits for power laws), and
+// basic descriptive statistics.
+//
+// Everything here is deterministic and allocation-free on the hot paths so
+// the scaling solver can be called inside tight parameter sweeps.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by root finders when the supplied interval does
+// not bracket a sign change of the function.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without meeting the requested tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// DefaultTol is the convergence tolerance used when a caller passes tol <= 0.
+const DefaultTol = 1e-12
+
+// maxIter bounds every iterative solver in this package.
+const maxIter = 200
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. It converges unconditionally but only linearly; prefer
+// Brent for production use. tol <= 0 selects DefaultTol.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := 0.5 * (a + b)
+		fm := f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return mid, nil
+		}
+		if fa*fm < 0 {
+			b, fb = mid, fm
+		} else {
+			a, fa = mid, fm
+		}
+		_ = fb
+	}
+	return 0.5 * (a + b), ErrNoConverge
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs. tol <= 0 selects DefaultTol.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	// Ensure |f(b)| <= |f(a)| so b is the best estimate.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant method.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// Newton finds a root of f starting from x0 using Newton-Raphson with the
+// supplied analytic derivative df. It fails fast if the derivative vanishes
+// or iterates diverge. tol <= 0 selects DefaultTol.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) < tol {
+			return x, nil
+		}
+		dfx := df(x)
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			return 0, fmt.Errorf("%w: derivative %g at x=%g", ErrNoConverge, dfx, x)
+		}
+		next := x - fx/dfx
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, fmt.Errorf("%w: iterate diverged at x=%g", ErrNoConverge, x)
+		}
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrNoConverge
+}
+
+// BracketUp expands [a, b] geometrically to the right until f changes sign
+// or the budget of expansions is exhausted. It returns a bracketing
+// interval suitable for Brent. The initial interval must satisfy a < b.
+func BracketUp(f func(float64) float64, a, b float64) (lo, hi float64, err error) {
+	if !(a < b) {
+		return 0, 0, fmt.Errorf("numeric: invalid initial interval [%g, %g]", a, b)
+	}
+	fa := f(a)
+	for i := 0; i < 64; i++ {
+		fb := f(b)
+		if fa == 0 || fb == 0 || fa*fb < 0 {
+			return a, b, nil
+		}
+		a, fa = b, fb
+		b *= 2
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,159 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+)
+
+func baseCfg(cores int) Config {
+	return Config{
+		Cores:                cores,
+		MissEvery:            200, // one miss per 200 instructions
+		LineBytes:            64,
+		ChannelBytesPerCycle: 4, // service = 16 cycles/line
+		MemLatencyCycles:     50,
+		Seed:                 7,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseCfg(8).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 5000 },
+		func(c *Config) { c.MissEvery = 0.5 },
+		func(c *Config) { c.LineBytes = 0 },
+		func(c *Config) { c.ChannelBytesPerCycle = 0 },
+		func(c *Config) { c.MemLatencyCycles = -1 },
+	}
+	for i, mut := range mutations {
+		c := baseCfg(8)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := Run(c, 1000); err == nil {
+			t.Errorf("mutation %d ran", i)
+		}
+	}
+	if _, err := Run(baseCfg(1), 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestSingleCoreIPC(t *testing.T) {
+	// One core: IPC = MissEvery / (MissEvery + latency + service) roughly.
+	cfg := baseCfg(1)
+	res, err := Run(cfg, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := float64(cfg.LineBytes) / cfg.ChannelBytesPerCycle
+	want := cfg.MissEvery / (cfg.MissEvery + float64(cfg.MemLatencyCycles) + service)
+	if math.Abs(res.IPC()-want)/want > 0.05 {
+		t.Errorf("single-core IPC = %.4f, want ≈%.4f", res.IPC(), want)
+	}
+	if res.Misses == 0 || res.BytesMoved != res.Misses*64 {
+		t.Errorf("accounting broken: %+v", res)
+	}
+}
+
+// TestThroughputKnee reproduces §1's mechanism: aggregate IPC grows with
+// cores until the channel saturates, then flattens — and the measured knee
+// agrees with the analytical capacity bound.
+func TestThroughputKnee(t *testing.T) {
+	// Per running core, traffic demand = 64B / 200 instr ≈ 0.32 B/cycle at
+	// IPC ≈ 0.75, so the 4 B/cycle channel supports ≈16–17 unthrottled
+	// cores' worth of demand.
+	var prevIPC float64
+	var ipcAt16, ipcAt64 float64
+	for _, cores := range []int{2, 4, 8, 16, 32, 64} {
+		res, err := Run(baseCfg(cores), 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc := res.IPC()
+		if ipc < prevIPC*0.97 {
+			t.Errorf("IPC decreased materially at %d cores: %.3f after %.3f", cores, ipc, prevIPC)
+		}
+		prevIPC = ipc
+		switch cores {
+		case 16:
+			ipcAt16 = ipc
+		case 64:
+			ipcAt64 = ipc
+		}
+	}
+	// Scaling from 16 to 64 cores must be far below 4x (the wall).
+	if ipcAt64/ipcAt16 > 1.6 {
+		t.Errorf("no wall: IPC 16→64 cores scaled %.2fx", ipcAt64/ipcAt16)
+	}
+	// At 64 cores the channel is saturated: delivered bytes/cycle ≈ peak.
+	res, err := Run(baseCfg(64), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.ChannelUtilization(baseCfg(64)); u < 0.95 {
+		t.Errorf("channel utilization at 64 cores = %.3f, want ≈1", u)
+	}
+	// Post-wall IPC equals the channel-limited bound:
+	// misses/cycle = BW/line, IPC = misses/cycle × MissEvery.
+	bound := baseCfg(64).ChannelBytesPerCycle / 64 * baseCfg(64).MissEvery
+	if math.Abs(res.IPC()-bound)/bound > 0.05 {
+		t.Errorf("saturated IPC = %.3f, want ≈%.3f (channel-limited)", res.IPC(), bound)
+	}
+}
+
+// TestStallsGrowWithLoad: queueing delay per miss rises as the channel
+// nears saturation (the M/D/1 hockey stick, observed in a real queue).
+func TestStallsGrowWithLoad(t *testing.T) {
+	light, err := Run(baseCfg(2), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Run(baseCfg(48), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(heavy.AvgStallPerMiss() > 2*light.AvgStallPerMiss()) {
+		t.Errorf("no queueing growth: light %.1f vs heavy %.1f cycles/miss",
+			light.AvgStallPerMiss(), heavy.AvgStallPerMiss())
+	}
+}
+
+// TestBandwidthConservationRestoresScaling: halving per-core traffic
+// (e.g. 2x link compression) moves the knee out — the paper's remedy,
+// observed in simulation.
+func TestBandwidthConservationRestoresScaling(t *testing.T) {
+	const cores = 32
+	plain, err := Run(baseCfg(cores), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := baseCfg(cores)
+	compressed.LineBytes = 32 // 2x effective bandwidth
+	comp, err := Run(compressed, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(comp.IPC() > 1.4*plain.IPC()) {
+		t.Errorf("2x link compression should lift post-wall IPC: %.3f vs %.3f",
+			comp.IPC(), plain.IPC())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseCfg(8), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseCfg(8), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("simulation not deterministic")
+	}
+}

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	b := Baseline()
+	if b.P != 8 || b.C != 8 {
+		t.Fatalf("baseline = %+v, want 8 cores / 8 cache CEAs", b)
+	}
+	if b.N() != 16 {
+		t.Errorf("N = %v, want 16", b.N())
+	}
+	if b.S() != 1 {
+		t.Errorf("S = %v, want 1", b.S())
+	}
+	if b.CoreAreaFraction() != 0.5 {
+		t.Errorf("core area fraction = %v, want 0.5 (balanced design)", b.CoreAreaFraction())
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := NewConfig(4, 12); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := NewConfig(4, 0); err != nil {
+		t.Errorf("all-cores config rejected: %v", err)
+	}
+	for _, bad := range []struct{ p, c float64 }{
+		{0, 8}, {-1, 8}, {8, -1},
+	} {
+		if _, err := NewConfig(bad.p, bad.c); err == nil {
+			t.Errorf("invalid config (%v, %v) accepted", bad.p, bad.c)
+		}
+	}
+}
+
+func TestSplitArea(t *testing.T) {
+	cfg, err := SplitArea(32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.P != 12 || cfg.C != 20 {
+		t.Errorf("SplitArea = %+v, want P=12 C=20", cfg)
+	}
+	if !numeric.AlmostEqual(cfg.S(), 20.0/12, 1e-12) {
+		t.Errorf("S = %v", cfg.S())
+	}
+	if _, err := SplitArea(32, 0); err == nil {
+		t.Error("SplitArea should reject p=0")
+	}
+	if _, err := SplitArea(32, 33); err == nil {
+		t.Error("SplitArea should reject p>n")
+	}
+	if cfg, err := SplitArea(32, 32); err != nil || cfg.C != 0 {
+		t.Errorf("SplitArea all-cores: %+v, %v", cfg, err)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Baseline().String()
+	for _, want := range []string{"P=8", "C=8", "N=16", "S=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

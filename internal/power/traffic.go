@@ -1,0 +1,86 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrafficModel computes total CMP memory traffic relative to a baseline
+// configuration (Eq. 3–5). Traffic is measured for a constant amount of
+// computation work, as in the paper (§3): queuing and timing effects are
+// deliberately out of scope of the analytical core and live in the memsys
+// substrate instead.
+type TrafficModel struct {
+	Base  Config  // baseline allocation (P1, C1)
+	Alpha float64 // workload cache sensitivity
+}
+
+// NewTrafficModel validates and constructs a TrafficModel. The baseline must
+// have non-zero cache (S1 > 0) because Eq. 5 normalizes by S1.
+func NewTrafficModel(base Config, alpha float64) (TrafficModel, error) {
+	m := TrafficModel{Base: base, Alpha: alpha}
+	if err := m.Validate(); err != nil {
+		return TrafficModel{}, err
+	}
+	return m, nil
+}
+
+// Validate reports whether the model parameters are usable.
+func (m TrafficModel) Validate() error {
+	if err := m.Base.Validate(); err != nil {
+		return err
+	}
+	if !(m.Base.C > 0) {
+		return fmt.Errorf("power: baseline needs cache (C1 > 0) to normalize Eq. 5, got C1=%g", m.Base.C)
+	}
+	if !(m.Alpha > MinAlpha) || m.Alpha > MaxAlpha {
+		return fmt.Errorf("power: alpha must be in (%g, %g], got %g", MinAlpha, MaxAlpha, m.Alpha)
+	}
+	return nil
+}
+
+// Relative returns M2/M1 for a new allocation (Eq. 5):
+//
+//	M2/M1 = (P2/P1) · (S2/S1)^-α
+//
+// The two factors are also returned separately: coreFactor = P2/P1 is the
+// traffic growth from more cores; cacheFactor = (S2/S1)^-α is the per-core
+// traffic growth from the changed cache share.
+func (m TrafficModel) Relative(next Config) (total, coreFactor, cacheFactor float64) {
+	coreFactor = next.P / m.Base.P
+	cacheFactor = math.Pow(next.S()/m.Base.S(), -m.Alpha)
+	return coreFactor * cacheFactor, coreFactor, cacheFactor
+}
+
+// RelativeS returns M2/M1 for an arbitrary effective cache-per-core s2,
+// decoupled from a die allocation. This is the form technique models use:
+// they substitute their own effective S2 (e.g. Eq. 8, 9, 11, 12).
+func (m TrafficModel) RelativeS(p2, s2 float64) float64 {
+	return (p2 / m.Base.P) * math.Pow(s2/m.Base.S(), -m.Alpha)
+}
+
+// PerCore returns the per-core traffic ratio (S2/S1)^-α in isolation.
+func (m TrafficModel) PerCore(s2 float64) float64 {
+	return math.Pow(s2/m.Base.S(), -m.Alpha)
+}
+
+// TrafficCurve evaluates M2/M1 across core counts 1..maxP for a chip of n
+// total CEAs, reproducing the "New Traffic" curve of Fig 2. Entry i of the
+// returned slice corresponds to P2 = i+1. Core counts that leave no cache
+// (P2 == n) are included with +Inf traffic, matching the model's S2→0 limit.
+func (m TrafficModel) TrafficCurve(n float64, maxP int) []float64 {
+	out := make([]float64, 0, maxP)
+	for p := 1; p <= maxP; p++ {
+		p2 := float64(p)
+		if p2 > n {
+			break
+		}
+		s2 := (n - p2) / p2
+		if s2 == 0 {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		out = append(out, m.RelativeS(p2, s2))
+	}
+	return out
+}

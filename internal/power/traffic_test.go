@@ -1,0 +1,168 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func defaultModel(t *testing.T) TrafficModel {
+	t.Helper()
+	m, err := NewTrafficModel(Baseline(), AlphaDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrafficModelValidation(t *testing.T) {
+	if _, err := NewTrafficModel(Baseline(), 0.5); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if _, err := NewTrafficModel(Config{P: 8, C: 0}, 0.5); err == nil {
+		t.Error("cacheless baseline must be rejected (S1=0 divides Eq. 5)")
+	}
+	if _, err := NewTrafficModel(Baseline(), 0); err == nil {
+		t.Error("alpha=0 must be rejected")
+	}
+	if _, err := NewTrafficModel(Config{P: 0, C: 8}, 0.5); err == nil {
+		t.Error("coreless baseline must be rejected")
+	}
+}
+
+func TestSection42WorkedExample(t *testing.T) {
+	// §4.2: baseline 8 cores + 8 CEAs; move 4 CEAs from cache to cores
+	// (P2=12, C2=4, S2=1/3). Traffic grows 2.6x = 1.5x (cores) × 1.73x
+	// (smaller per-core cache).
+	m := defaultModel(t)
+	total, coreF, cacheF := m.Relative(Config{P: 12, C: 4})
+	if math.Abs(coreF-1.5) > 1e-12 {
+		t.Errorf("core factor = %v, want 1.5", coreF)
+	}
+	if math.Abs(cacheF-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("cache factor = %v, want √3 ≈ 1.73", cacheF)
+	}
+	if math.Abs(total-1.5*math.Sqrt(3)) > 1e-12 {
+		t.Errorf("total = %v, want ≈2.6", total)
+	}
+	if math.Abs(total-2.6) > 0.002 {
+		t.Errorf("total = %v, want the paper's 2.6", total)
+	}
+}
+
+func TestRelativeIdentity(t *testing.T) {
+	m := defaultModel(t)
+	total, coreF, cacheF := m.Relative(m.Base)
+	if total != 1 || coreF != 1 || cacheF != 1 {
+		t.Errorf("identity config: %v %v %v, want all 1", total, coreF, cacheF)
+	}
+}
+
+func TestDoublingCoresAndCacheDoublesTraffic(t *testing.T) {
+	// §1: "doubling the number of cores and the amount of cache results in
+	// a corresponding doubling of off-chip memory traffic" (S unchanged).
+	m := defaultModel(t)
+	total, _, cacheF := m.Relative(Config{P: 16, C: 16})
+	if !numeric.AlmostEqual(total, 2, 1e-12) || cacheF != 1 {
+		t.Errorf("proportional doubling: total=%v cacheF=%v, want 2 and 1", total, cacheF)
+	}
+}
+
+func TestRelativeSAgreesWithRelative(t *testing.T) {
+	m := defaultModel(t)
+	cfg := Config{P: 11, C: 21}
+	total, _, _ := m.Relative(cfg)
+	viaS := m.RelativeS(cfg.P, cfg.S())
+	if !numeric.AlmostEqual(total, viaS, 1e-12) {
+		t.Errorf("Relative=%v RelativeS=%v", total, viaS)
+	}
+}
+
+func TestPerCore(t *testing.T) {
+	m := defaultModel(t)
+	// Quadrupling per-core cache at α=0.5 halves per-core traffic.
+	if got := m.PerCore(4); !numeric.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("PerCore(4) = %v, want 0.5", got)
+	}
+	if got := m.PerCore(1); got != 1 {
+		t.Errorf("PerCore(1) = %v, want 1", got)
+	}
+}
+
+func TestTrafficCurveShape(t *testing.T) {
+	// Fig 2: traffic grows super-linearly in core count on a fixed die.
+	m := defaultModel(t)
+	curve := m.TrafficCurve(32, 31)
+	if len(curve) != 31 {
+		t.Fatalf("len = %d, want 31", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Fatalf("curve not strictly increasing at P=%d: %v then %v", i, curve[i-1], curve[i])
+		}
+	}
+	// 16 cores on 32 CEAs keeps S=1, so traffic is exactly 2x (Fig 2).
+	if !numeric.AlmostEqual(curve[15], 2, 1e-12) {
+		t.Errorf("traffic at 16 cores = %v, want 2", curve[15])
+	}
+	// Super-linear: traffic at 16 cores exceeds 2x traffic at 8 cores? No —
+	// super-linearity means M(kP) > k·M(P)/..; check convexity instead:
+	// increments grow.
+	d1 := curve[16] - curve[15]
+	d0 := curve[15] - curve[14]
+	if d1 <= d0 {
+		t.Errorf("curve not convex: increments %v then %v", d0, d1)
+	}
+}
+
+func TestTrafficCurveAllCoresIsInfinite(t *testing.T) {
+	m := defaultModel(t)
+	curve := m.TrafficCurve(32, 32)
+	last := curve[len(curve)-1]
+	if !math.IsInf(last, 1) {
+		t.Errorf("all-cores traffic = %v, want +Inf", last)
+	}
+}
+
+func TestTrafficCurveStopsAtDie(t *testing.T) {
+	m := defaultModel(t)
+	curve := m.TrafficCurve(8, 100)
+	if len(curve) != 8 {
+		t.Errorf("curve length %d, want 8 (bounded by die)", len(curve))
+	}
+}
+
+func TestRelativeQuickMonotonicity(t *testing.T) {
+	// Property: on a fixed die, more cores ⇒ strictly more traffic, for any
+	// α in the paper's range.
+	m0, err := NewTrafficModel(Baseline(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a8 uint8, p8 uint8) bool {
+		alpha := 0.25 + float64(a8%38)/100 // [0.25, 0.62]
+		m := m0
+		m.Alpha = alpha
+		n := 64.0
+		p := 1 + float64(p8%62)
+		t1 := m.RelativeS(p, (n-p)/p)
+		t2 := m.RelativeS(p+1, (n-p-1)/(p+1))
+		return t2 > t1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaSensitivity(t *testing.T) {
+	// Fig 17's driver: with a bigger α, the same extra cache buys a bigger
+	// per-core traffic reduction.
+	small, _ := NewTrafficModel(Baseline(), AlphaSPEC2006)
+	large, _ := NewTrafficModel(Baseline(), AlphaOLTPMax)
+	if small.PerCore(4) <= large.PerCore(4) {
+		t.Errorf("α=0.25 per-core %v should exceed α=0.62 per-core %v",
+			small.PerCore(4), large.PerCore(4))
+	}
+}

@@ -1,0 +1,153 @@
+// Package ranklist implements an order-statistics list: a sequence of
+// uint64 values supporting push-front, rank lookup, and removal by rank in
+// O(log n). It is the data structure behind the stack-distance workload
+// generator — an LRU stack would need O(depth) per move-to-front with a
+// plain slice, which is far too slow for Pareto-tailed depths.
+//
+// The implementation is a size-augmented treap with deterministic
+// pseudo-random priorities (splitmix64 of an insertion counter), so a given
+// construction seed always yields the same structure.
+package ranklist
+
+// node is one treap node holding a value; subtree sizes support rank ops.
+type node struct {
+	val         uint64
+	prio        uint64
+	size        int
+	left, right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// List is an order-statistics list of uint64 values. The zero value is an
+// empty list ready to use.
+type List struct {
+	root *node
+	ctr  uint64 // priority counter, hashed per insertion
+	seed uint64
+}
+
+// New returns an empty list whose internal priorities derive from seed.
+func New(seed uint64) *List {
+	return &List{seed: seed}
+}
+
+// splitmix64 is the 64-bit finalizer from Vigna's splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Len returns the number of elements.
+func (l *List) Len() int { return size(l.root) }
+
+// split divides t into (first k elements, rest).
+func split(t *node, k int) (a, b *node) {
+	if t == nil {
+		return nil, nil
+	}
+	if size(t.left) >= k {
+		a, t.left = split(t.left, k)
+		t.update()
+		return a, t
+	}
+	t.right, b = split(t.right, k-size(t.left)-1)
+	t.update()
+	return t, b
+}
+
+// merge joins a and b, all of a's elements preceding b's.
+func merge(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio > b.prio:
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.update()
+		return b
+	}
+}
+
+// PushFront prepends v (rank 0).
+func (l *List) PushFront(v uint64) {
+	l.ctr++
+	n := &node{val: v, prio: splitmix64(l.seed ^ l.ctr), size: 1}
+	l.root = merge(n, l.root)
+}
+
+// At returns the value at rank i (0-based). It panics if i is out of range,
+// matching slice semantics.
+func (l *List) At(i int) uint64 {
+	if i < 0 || i >= l.Len() {
+		panic("ranklist: rank out of range")
+	}
+	n := l.root
+	for {
+		ls := size(n.left)
+		switch {
+		case i < ls:
+			n = n.left
+		case i == ls:
+			return n.val
+		default:
+			i -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// RemoveAt removes and returns the value at rank i. It panics if i is out
+// of range.
+func (l *List) RemoveAt(i int) uint64 {
+	if i < 0 || i >= l.Len() {
+		panic("ranklist: rank out of range")
+	}
+	a, rest := split(l.root, i)
+	mid, b := split(rest, 1)
+	l.root = merge(a, b)
+	return mid.val
+}
+
+// MoveToFront removes the element at rank i and reinserts it at rank 0,
+// returning its value — the LRU "touch" operation.
+func (l *List) MoveToFront(i int) uint64 {
+	if i == 0 {
+		return l.At(0)
+	}
+	v := l.RemoveAt(i)
+	l.PushFront(v)
+	return v
+}
+
+// Slice returns the list contents in rank order (for tests and debugging).
+func (l *List) Slice() []uint64 {
+	out := make([]uint64, 0, l.Len())
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.val)
+		walk(n.right)
+	}
+	walk(l.root)
+	return out
+}

@@ -1,0 +1,194 @@
+package ranklist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New(1)
+	if l.Len() != 0 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if got := l.Slice(); len(got) != 0 {
+		t.Errorf("Slice = %v", got)
+	}
+}
+
+func TestPushFrontOrder(t *testing.T) {
+	l := New(7)
+	for i := uint64(0); i < 10; i++ {
+		l.PushFront(i)
+	}
+	want := []uint64{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	got := l.Slice()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+		if l.At(i) != want[i] {
+			t.Fatalf("At(%d) = %d, want %d", i, l.At(i), want[i])
+		}
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	l := New(3)
+	for i := uint64(0); i < 5; i++ {
+		l.PushFront(i) // [4 3 2 1 0]
+	}
+	if v := l.RemoveAt(2); v != 2 {
+		t.Errorf("RemoveAt(2) = %d, want 2", v)
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d, want 4", l.Len())
+	}
+	want := []uint64{4, 3, 1, 0}
+	for i, w := range want {
+		if l.At(i) != w {
+			t.Errorf("At(%d) = %d, want %d", i, l.At(i), w)
+		}
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	l := New(9)
+	for i := uint64(0); i < 5; i++ {
+		l.PushFront(i) // [4 3 2 1 0]
+	}
+	if v := l.MoveToFront(3); v != 1 {
+		t.Errorf("MoveToFront(3) = %d, want 1", v)
+	}
+	want := []uint64{1, 4, 3, 2, 0}
+	for i, w := range want {
+		if l.At(i) != w {
+			t.Errorf("after move: At(%d) = %d, want %d", i, l.At(i), w)
+		}
+	}
+	// Moving rank 0 is a no-op returning the front.
+	if v := l.MoveToFront(0); v != 1 {
+		t.Errorf("MoveToFront(0) = %d, want 1", v)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len changed: %d", l.Len())
+	}
+}
+
+func TestPanicsOnBadRank(t *testing.T) {
+	l := New(1)
+	l.PushFront(42)
+	for name, f := range map[string]func(){
+		"At(-1)":       func() { l.At(-1) },
+		"At(len)":      func() { l.At(1) },
+		"RemoveAt(-1)": func() { l.RemoveAt(-1) },
+		"RemoveAt(1)":  func() { l.RemoveAt(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAgainstSliceModel drives the treap and a plain-slice model with the
+// same random operations and checks full agreement.
+func TestAgainstSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	l := New(5)
+	var model []uint64
+	for op := 0; op < 20000; op++ {
+		switch {
+		case len(model) == 0 || rng.Intn(4) == 0:
+			v := rng.Uint64()
+			l.PushFront(v)
+			model = append([]uint64{v}, model...)
+		case rng.Intn(2) == 0:
+			i := rng.Intn(len(model))
+			got := l.RemoveAt(i)
+			want := model[i]
+			model = append(model[:i:i], model[i+1:]...)
+			if got != want {
+				t.Fatalf("op %d: RemoveAt(%d) = %d, want %d", op, i, got, want)
+			}
+		default:
+			i := rng.Intn(len(model))
+			got := l.MoveToFront(i)
+			want := model[i]
+			model = append(model[:i:i], model[i+1:]...)
+			model = append([]uint64{want}, model...)
+			if got != want {
+				t.Fatalf("op %d: MoveToFront(%d) = %d, want %d", op, i, got, want)
+			}
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, l.Len(), len(model))
+		}
+	}
+	// Final full comparison.
+	got := l.Slice()
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("final mismatch at %d: %d vs %d", i, got[i], model[i])
+		}
+	}
+}
+
+func TestQuickPushThenIndex(t *testing.T) {
+	// Property: pushing vs onto an empty list yields reverse order.
+	prop := func(vs []uint64) bool {
+		l := New(11)
+		for _, v := range vs {
+			l.PushFront(v)
+		}
+		if l.Len() != len(vs) {
+			return false
+		}
+		for i, v := range vs {
+			if l.At(len(vs)-1-i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicStructure(t *testing.T) {
+	// Same seed + same ops ⇒ same slice (needed for reproducible traces).
+	build := func() []uint64 {
+		l := New(1234)
+		for i := uint64(0); i < 100; i++ {
+			l.PushFront(i)
+		}
+		for i := 0; i < 50; i++ {
+			l.MoveToFront(int(i*2) % l.Len())
+		}
+		return l.Slice()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func BenchmarkMoveToFrontDeep(b *testing.B) {
+	l := New(77)
+	const n = 1 << 20
+	for i := uint64(0); i < n; i++ {
+		l.PushFront(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MoveToFront(rng.Intn(n))
+	}
+}

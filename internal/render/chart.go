@@ -1,0 +1,133 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart plots one or more series on a character grid — enough to eyeball
+// the shape of a reproduced figure in a terminal (straight power-law lines
+// in log-log space, envelope crossings, candle ranges).
+type Chart struct {
+	Title  string
+	Width  int  // plot columns (default 64)
+	Height int  // plot rows (default 16)
+	LogX   bool // logarithmic x axis
+	LogY   bool // logarithmic y axis
+	Series []Series
+}
+
+// seriesMarks cycles point markers per series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log(v)
+		}
+		return v
+	}
+	usable := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return false
+		}
+		if c.LogX && x <= 0 {
+			return false
+		}
+		if c.LogY && y <= 0 {
+			return false
+		}
+		return true
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, ty(s.Y[i]))
+			maxY = math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	if math.IsInf(minX, 1) {
+		sb.WriteString("(no plottable points)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			col := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((ty(s.Y[i])-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = mark
+		}
+	}
+	yLabel := func(v float64) float64 {
+		if c.LogY {
+			return math.Exp(v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&sb, "%10.4g |%s\n", yLabel(maxY), string(row))
+		case h - 1:
+			fmt.Fprintf(&sb, "%10.4g |%s\n", yLabel(minY), string(row))
+		default:
+			fmt.Fprintf(&sb, "%10s |%s\n", "", string(row))
+		}
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", w) + "\n")
+	xl, xr := minX, maxX
+	if c.LogX {
+		xl, xr = math.Exp(minX), math.Exp(maxX)
+	}
+	fmt.Fprintf(&sb, "%12.4g%s%.4g\n", xl, strings.Repeat(" ", max(1, w-10)), xr)
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}

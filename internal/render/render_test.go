@@ -1,0 +1,168 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "cores"}}
+	tb.AddRow("BASE", 11)
+	tb.AddRow("DRAM", 18)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "name") || !strings.Contains(s, "cores") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(s, "BASE") || !strings.Contains(s, "18") {
+		t.Error("rows missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Errorf("line count = %d: %q", len(lines), s)
+	}
+	// The rule line is dashes.
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("rule line = %q", lines[2])
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(2.0)
+	tb.AddRow(2.6543219)
+	tb.AddRow(0.5)
+	s := tb.String()
+	if !strings.Contains(s, "\n2\n") && !strings.Contains(s, "\n2 ") {
+		t.Errorf("integral float not trimmed: %q", s)
+	}
+	if !strings.Contains(s, "2.6543") {
+		t.Errorf("decimal float wrong: %q", s)
+	}
+	if !strings.Contains(s, "0.5") {
+		t.Errorf("0.5 mangled: %q", s)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := &Table{}
+	if got := tb.String(); got != "" {
+		t.Errorf("empty table = %q", got)
+	}
+	tb.Title = "x"
+	if got := tb.String(); got != "x\n" {
+		t.Errorf("title-only table = %q", got)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("1", "2", "3")
+	s := tb.String()
+	if !strings.Contains(s, "3") {
+		t.Errorf("extra cells dropped: %q", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "note"}}
+	tb.AddRow("plain", "x")
+	tb.AddRow("with,comma", `say "hi"`)
+	csv := tb.CSV()
+	want := "name,note\nplain,x\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestChartPlotsAllSeries(t *testing.T) {
+	ch := &Chart{
+		Title: "traffic",
+		Series: []Series{
+			{Name: "new traffic", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+			{Name: "envelope", X: []float64{1, 2, 3}, Y: []float64{2, 2, 2}},
+		},
+	}
+	s := ch.String()
+	if !strings.Contains(s, "traffic") || !strings.Contains(s, "envelope") {
+		t.Errorf("legend incomplete: %q", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("marks missing: %q", s)
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	// A power law must land on a straight diagonal in a log-log chart:
+	// every row with a mark has it strictly right of the previous row's.
+	var xs, ys []float64
+	for c := 1.0; c <= 1<<16; c *= 2 {
+		xs = append(xs, c)
+		ys = append(ys, math.Pow(c, -0.5))
+	}
+	ch := &Chart{LogX: true, LogY: true, Width: 34, Height: 17,
+		Series: []Series{{Name: "m", X: xs, Y: ys}}}
+	out := ch.String()
+	lines := strings.Split(out, "\n")
+	prev := -1
+	seen := 0
+	for _, ln := range lines {
+		i := strings.IndexByte(ln, '|')
+		if i < 0 {
+			continue
+		}
+		col := strings.IndexByte(ln[i:], '*')
+		if col < 0 {
+			continue
+		}
+		seen++
+		if prev >= 0 && col <= prev {
+			t.Fatalf("log-log power law not monotone diagonal:\n%s", out)
+		}
+		prev = col
+	}
+	if seen < 10 {
+		t.Errorf("only %d marked rows:\n%s", seen, out)
+	}
+}
+
+func TestChartSkipsUnplottable(t *testing.T) {
+	ch := &Chart{LogY: true, Series: []Series{{
+		Name: "s",
+		X:    []float64{1, 2, 3, 4},
+		Y:    []float64{0, -1, math.Inf(1), math.NaN()},
+	}}}
+	if out := ch.String(); !strings.Contains(out, "no plottable points") {
+		t.Errorf("expected empty-chart notice, got:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	ch := &Chart{Series: []Series{{Name: "flat", X: []float64{5}, Y: []float64{7}}}}
+	out := ch.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tb.AddRow("x|y", 2)
+	md := tb.Markdown()
+	want := "**T**\n\n| a | b |\n|---|---|\n| x\\|y | 2 |\n"
+	if md != want {
+		t.Errorf("Markdown = %q, want %q", md, want)
+	}
+	empty := &Table{}
+	if empty.Markdown() != "" {
+		t.Error("empty table should render empty")
+	}
+	headerless := &Table{}
+	headerless.AddRow("only")
+	if !strings.Contains(headerless.Markdown(), "| only |") {
+		t.Errorf("headerless markdown: %q", headerless.Markdown())
+	}
+}

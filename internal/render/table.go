@@ -1,0 +1,175 @@
+// Package render formats experiment results for terminals and files:
+// aligned ASCII tables, log/linear ASCII charts, and CSV export. It is the
+// output layer for every reproduced figure and table.
+package render
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// trimFloat renders floats compactly: integers without decimals, others
+// with up to 4 significant decimals.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}
+
+// String renders the table with padded columns and a header rule.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return sb.String()
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
+		}
+		// Trim trailing padding.
+		s := sb.String()
+		trimmed := strings.TrimRight(s, " ")
+		sb.Reset()
+		sb.WriteString(trimmed)
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas, quotes, or newlines).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table (title as
+// a bold line above it). Pipes in cells are escaped.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("**" + t.Title + "**\n\n")
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return sb.String()
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", `\|`) }
+	writeRow := func(row []string) {
+		sb.WriteByte('|')
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = esc(row[i])
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(cell)
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	headers := t.Headers
+	if len(headers) == 0 {
+		headers = make([]string, cols)
+	}
+	writeRow(headers)
+	sb.WriteByte('|')
+	for i := 0; i < cols; i++ {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+package technique
+
+import "fmt"
+
+// CacheCompression models on-chip cache compression (§6.1): a hardware
+// engine stores lines compressed, multiplying effective cache capacity by
+// Ratio. The effect on traffic is indirect (Eq. 8).
+type CacheCompression struct {
+	Ratio float64 // effectiveness factor F (compression ratio), ≥1
+}
+
+// Label implements Technique.
+func (CacheCompression) Label() string { return "CC" }
+
+// Describe implements Technique.
+func (t CacheCompression) Describe() string {
+	return fmt.Sprintf("cache compression (%.2fx effective capacity)", t.Ratio)
+}
+
+// Category implements Technique.
+func (CacheCompression) Category() Category { return Indirect }
+
+// Modify implements Technique.
+func (t CacheCompression) Modify(pm *Params) { pm.CacheMult *= t.Ratio }
+
+// DRAMCache models implementing the on-chip L2 in dense DRAM instead of
+// SRAM (§6.1), multiplying the storage density of every on-die cache CEA.
+type DRAMCache struct {
+	Density float64 // density vs SRAM: 4–16x in the literature
+}
+
+// Label implements Technique.
+func (DRAMCache) Label() string { return "DRAM" }
+
+// Describe implements Technique.
+func (t DRAMCache) Describe() string {
+	return fmt.Sprintf("DRAM L2 cache (%gx density vs SRAM)", t.Density)
+}
+
+// Category implements Technique.
+func (DRAMCache) Category() Category { return Indirect }
+
+// Modify implements Technique.
+func (t DRAMCache) Modify(pm *Params) { pm.DieDensity = t.Density }
+
+// ThreeDCache models a 3D-stacked cache-only die on top of the processor
+// die (§6.1, Eq. 9). The stacked die contributes N more CEAs of cache at
+// LayerDensity (1 for an SRAM layer, 8–16 for a DRAM layer). The on-die
+// cache stays SRAM unless a DRAMCache technique is also stacked.
+type ThreeDCache struct {
+	LayerDensity float64 // density of the stacked die vs SRAM
+}
+
+// Label implements Technique.
+func (ThreeDCache) Label() string { return "3D" }
+
+// Describe implements Technique.
+func (t ThreeDCache) Describe() string {
+	if t.LayerDensity == 1 {
+		return "3D-stacked SRAM cache die"
+	}
+	return fmt.Sprintf("3D-stacked DRAM cache die (%gx density)", t.LayerDensity)
+}
+
+// Category implements Technique.
+func (ThreeDCache) Category() Category { return Indirect }
+
+// Modify implements Technique.
+func (t ThreeDCache) Modify(pm *Params) {
+	pm.ExtraDie = true
+	if t.LayerDensity > pm.ExtraDieDensity {
+		pm.ExtraDieDensity = t.LayerDensity
+	}
+}
+
+// UnusedDataFilter models unused-data filtering (§6.1): discarding the
+// never-referenced words of each line frees cache space, multiplying
+// effective capacity by 1/(1-Unused). Traffic is unchanged directly — whole
+// lines are still fetched.
+type UnusedDataFilter struct {
+	Unused float64 // average fraction of cached data never referenced, [0,1)
+}
+
+// Label implements Technique.
+func (UnusedDataFilter) Label() string { return "Fltr" }
+
+// Describe implements Technique.
+func (t UnusedDataFilter) Describe() string {
+	return fmt.Sprintf("unused-data filtering (%.0f%% of cached data unused)", t.Unused*100)
+}
+
+// Category implements Technique.
+func (UnusedDataFilter) Category() Category { return Indirect }
+
+// Modify implements Technique.
+func (t UnusedDataFilter) Modify(pm *Params) { pm.CacheMult *= 1 / (1 - t.Unused) }
+
+// SmallerCores models shrinking each core to AreaFraction of a CEA
+// (§6.1, Eq. 10–11), freeing die area for cache. Per the paper's
+// assumptions the smaller core generates the same traffic for the same
+// work, so the only benefit is the larger cache share.
+type SmallerCores struct {
+	AreaFraction float64 // f_sm ∈ (0,1]: new core area / baseline core area
+}
+
+// Label implements Technique.
+func (SmallerCores) Label() string { return "SmCo" }
+
+// Describe implements Technique.
+func (t SmallerCores) Describe() string {
+	return fmt.Sprintf("smaller cores (%.1fx area reduction)", 1/t.AreaFraction)
+}
+
+// Category implements Technique.
+func (SmallerCores) Category() Category { return Indirect }
+
+// Modify implements Technique.
+func (t SmallerCores) Modify(pm *Params) { pm.CoreArea = t.AreaFraction }
+
+// LinkCompression models compressing data on the off-chip memory link
+// (§6.2): the same misses move fewer bytes, dividing traffic by Ratio.
+type LinkCompression struct {
+	Ratio float64 // effective bandwidth multiplier, ≥1
+}
+
+// Label implements Technique.
+func (LinkCompression) Label() string { return "LC" }
+
+// Describe implements Technique.
+func (t LinkCompression) Describe() string {
+	return fmt.Sprintf("link compression (%.2fx effective bandwidth)", t.Ratio)
+}
+
+// Category implements Technique.
+func (LinkCompression) Category() Category { return Direct }
+
+// Modify implements Technique.
+func (t LinkCompression) Modify(pm *Params) { pm.TrafficDiv *= t.Ratio }
+
+// SectoredCache models fetching only the predicted-useful sectors of a line
+// (§6.2): traffic shrinks by 1/(1-Unused) but unfetched sectors still
+// occupy cache space, so capacity is unchanged.
+type SectoredCache struct {
+	Unused float64 // average fraction of line data never referenced, [0,1)
+}
+
+// Label implements Technique.
+func (SectoredCache) Label() string { return "Sect" }
+
+// Describe implements Technique.
+func (t SectoredCache) Describe() string {
+	return fmt.Sprintf("sectored cache (%.0f%% of fetched data unused)", t.Unused*100)
+}
+
+// Category implements Technique.
+func (SectoredCache) Category() Category { return Direct }
+
+// Modify implements Technique.
+func (t SectoredCache) Modify(pm *Params) { pm.TrafficDiv *= 1 / (1 - t.Unused) }
+
+// SmallCacheLines models word-sized cache lines (§6.3, Eq. 12): unused
+// words are neither fetched (traffic ÷ 1/(1-Unused)) nor stored (capacity
+// × 1/(1-Unused)) — a dual technique.
+type SmallCacheLines struct {
+	Unused float64 // average fraction of a 64B line never referenced, [0,1)
+}
+
+// Label implements Technique.
+func (SmallCacheLines) Label() string { return "SmCl" }
+
+// Describe implements Technique.
+func (t SmallCacheLines) Describe() string {
+	return fmt.Sprintf("smaller cache lines (%.0f%% of line data unused)", t.Unused*100)
+}
+
+// Category implements Technique.
+func (SmallCacheLines) Category() Category { return Dual }
+
+// Modify implements Technique.
+func (t SmallCacheLines) Modify(pm *Params) {
+	f := 1 / (1 - t.Unused)
+	pm.CacheMult *= f
+	pm.TrafficDiv *= f
+}
+
+// CacheLinkCompression models compressing data once and keeping it
+// compressed both on the link and in the cache (§6.3): capacity × Ratio and
+// traffic ÷ Ratio simultaneously.
+type CacheLinkCompression struct {
+	Ratio float64 // compression ratio applied to both cache and link, ≥1
+}
+
+// Label implements Technique.
+func (CacheLinkCompression) Label() string { return "CC/LC" }
+
+// Describe implements Technique.
+func (t CacheLinkCompression) Describe() string {
+	return fmt.Sprintf("cache+link compression (%.2fx)", t.Ratio)
+}
+
+// Category implements Technique.
+func (CacheLinkCompression) Category() Category { return Dual }
+
+// Modify implements Technique.
+func (t CacheLinkCompression) Modify(pm *Params) {
+	pm.CacheMult *= t.Ratio
+	pm.TrafficDiv *= t.Ratio
+}
+
+// DataSharing models multithreaded workloads whose threads share a fraction
+// of their cached data (§6.3, Eq. 13–14), under the paper's upper-bound
+// assumptions: a shared L2 and data either fully private or shared by all.
+type DataSharing struct {
+	SharedFrac float64 // f_sh ∈ [0,1)
+}
+
+// Label implements Technique.
+func (DataSharing) Label() string { return "Shr" }
+
+// Describe implements Technique.
+func (t DataSharing) Describe() string {
+	return fmt.Sprintf("data sharing (%.0f%% of cached data shared)", t.SharedFrac*100)
+}
+
+// Category implements Technique.
+func (DataSharing) Category() Category { return Dual }
+
+// Modify implements Technique.
+func (t DataSharing) Modify(pm *Params) { pm.SharedFrac = t.SharedFrac }
+
+// DataSharingPrivate models data sharing when each core keeps a private
+// L2 (the paper's footnote 1): shared blocks are replicated in every
+// private cache, so sharing reduces fetch traffic (P' fetchers, Eq. 14)
+// but NOT the cache capacity per core — S2 stays C2/P2.
+type DataSharingPrivate struct {
+	SharedFrac float64 // f_sh ∈ [0,1)
+}
+
+// Label implements Technique.
+func (DataSharingPrivate) Label() string { return "Shr(priv)" }
+
+// Describe implements Technique.
+func (t DataSharingPrivate) Describe() string {
+	return fmt.Sprintf("data sharing with private caches (%.0f%% shared, replicated)", t.SharedFrac*100)
+}
+
+// Category implements Technique.
+func (DataSharingPrivate) Category() Category { return Direct }
+
+// Modify implements Technique. The capacity side of sharing is cancelled
+// by replication: P' cores fetch, but each still caches its own copy, so
+// the net effect is the pure fetch reduction P'/P — expressed as a direct
+// traffic divisor to keep S2 untouched.
+func (t DataSharingPrivate) Modify(pm *Params) {
+	pm.PrivateSharedFrac = t.SharedFrac
+}

@@ -1,0 +1,235 @@
+// Package technique models the bandwidth-conservation techniques of
+// Section 6 of the paper and their composition (Fig 15/16). Each technique
+// is a declarative modifier of a Params struct; a Stack combines several
+// techniques and evaluates the resulting memory-traffic equation.
+//
+// The paper sorts techniques into three categories:
+//
+//   - indirect: enlarge the *effective* cache per core, reducing misses
+//     (cache compression, DRAM caches, 3D stacking, unused-data filtering,
+//     smaller cores). Their benefit is dampened by the -α exponent.
+//   - direct: shrink the traffic itself (link compression, sectored caches).
+//   - dual: both at once (smaller cache lines, cache+link compression,
+//     data sharing).
+package technique
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// Category classifies how a technique attacks the bandwidth wall (§6).
+type Category int
+
+const (
+	// Indirect techniques increase effective cache capacity per core.
+	Indirect Category = iota
+	// Direct techniques reduce the bytes crossing the chip boundary.
+	Direct
+	// Dual techniques do both simultaneously.
+	Dual
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Indirect:
+		return "indirect"
+	case Direct:
+		return "direct"
+	case Dual:
+		return "dual"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Params is the fully resolved set of model modifiers a technique stack
+// induces on the traffic equation. The neutral element leaves Eq. 5
+// untouched.
+type Params struct {
+	// DieDensity multiplies the storage density of cache CEAs on the
+	// processor die (DRAM caches, §6.1).
+	DieDensity float64
+	// ExtraDie adds a 3D-stacked cache-only die of N CEAs (§6.1).
+	ExtraDie bool
+	// ExtraDieDensity is the storage density of the stacked die. When a
+	// DRAM-cache technique is combined with 3D stacking, the stacked die
+	// inherits the DRAM density (the paper's Fig 16 combinations).
+	ExtraDieDensity float64
+	// CacheMult multiplies effective cache capacity (compression ratio,
+	// 1/(1-f_unused) for filtering, 1/(1-f_w) for small lines).
+	CacheMult float64
+	// TrafficDiv divides the generated traffic directly (link compression
+	// ratio, 1/(1-f_unused) for sectoring, 1/(1-f_w) for small lines).
+	TrafficDiv float64
+	// CoreArea is the area of one core as a fraction of a CEA (f_sm ≤ 1 for
+	// smaller cores, Eq. 10). Freed area becomes cache.
+	CoreArea float64
+	// SharedFrac is the fraction of cached data shared by all threads
+	// (f_sh, Eq. 13–14). Requires a shared-cache configuration.
+	SharedFrac float64
+	// PrivateSharedFrac is footnote 1's variant: sharing with private
+	// caches, where shared blocks are replicated. Only the fetch count
+	// shrinks (P' fetchers); cache per core stays C2/P2.
+	PrivateSharedFrac float64
+}
+
+// Neutral returns Params that leave the base model unchanged.
+func Neutral() Params {
+	return Params{
+		DieDensity:      1,
+		ExtraDieDensity: 1,
+		CacheMult:       1,
+		TrafficDiv:      1,
+		CoreArea:        1,
+		SharedFrac:      0,
+	}
+}
+
+// Validate reports whether the resolved parameters are physical.
+func (pm Params) Validate() error {
+	switch {
+	case !(pm.DieDensity >= 1):
+		return fmt.Errorf("technique: die density must be ≥1, got %g", pm.DieDensity)
+	case !(pm.ExtraDieDensity >= 1):
+		return fmt.Errorf("technique: extra-die density must be ≥1, got %g", pm.ExtraDieDensity)
+	case !(pm.CacheMult > 0):
+		return fmt.Errorf("technique: cache multiplier must be positive, got %g", pm.CacheMult)
+	case !(pm.TrafficDiv > 0):
+		return fmt.Errorf("technique: traffic divisor must be positive, got %g", pm.TrafficDiv)
+	case !(pm.CoreArea > 0) || pm.CoreArea > 1:
+		return fmt.Errorf("technique: core area fraction must be in (0,1], got %g", pm.CoreArea)
+	case pm.SharedFrac < 0 || pm.SharedFrac >= 1:
+		return fmt.Errorf("technique: shared fraction must be in [0,1), got %g", pm.SharedFrac)
+	case pm.PrivateSharedFrac < 0 || pm.PrivateSharedFrac >= 1:
+		return fmt.Errorf("technique: private shared fraction must be in [0,1), got %g", pm.PrivateSharedFrac)
+	case pm.SharedFrac > 0 && pm.PrivateSharedFrac > 0:
+		return fmt.Errorf("technique: shared-cache and private-cache sharing are mutually exclusive")
+	}
+	return nil
+}
+
+// EffectiveP returns the number of independent traffic-generating cores
+// P'2 = f_sh + (1-f_sh)·P2 (Eq. 14). Without sharing it is p itself.
+func (pm Params) EffectiveP(p float64) float64 {
+	if pm.SharedFrac == 0 {
+		return p
+	}
+	return pm.SharedFrac + (1-pm.SharedFrac)*p
+}
+
+// CacheCEAs returns the density-adjusted cache capacity, in baseline-SRAM
+// CEA equivalents, of a chip with n total CEAs and p cores:
+//
+//	D_die·(n − f_sm·p) + [extra die] D_3d·n
+//
+// This is the generalization of Eq. 9 (3D stacking) and Eq. 10 (smaller
+// cores) that also covers their combinations.
+func (pm Params) CacheCEAs(n, p float64) float64 {
+	c := pm.DieDensity * (n - pm.CoreArea*p)
+	if pm.ExtraDie {
+		c += pm.ExtraDieDensity * n
+	}
+	return c
+}
+
+// EffectiveS returns the effective cache per independent core, including
+// capacity-multiplying effects: S_eff = CacheCEAs/P' · CacheMult.
+func (pm Params) EffectiveS(n, p float64) float64 {
+	return pm.CacheCEAs(n, p) / pm.EffectiveP(p) * pm.CacheMult
+}
+
+// Traffic evaluates the full technique-adjusted traffic equation
+//
+//	M2/M1 = (P'2/P1) · (S_eff/S1)^-α / TrafficDiv
+//
+// for a chip with n total CEAs and p cores, relative to model's baseline.
+// It returns +Inf when the configuration leaves no cache at all (the
+// power-law limit as S→0). Footnote 1's private-cache sharing reduces the
+// fetcher count like Eq. 14 but leaves cache per core at C2/P2 (shared
+// blocks are replicated per cache).
+func (pm Params) Traffic(m power.TrafficModel, n, p float64) float64 {
+	s := pm.EffectiveS(n, p)
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	pe := pm.EffectiveP(p)
+	if f := pm.PrivateSharedFrac; f > 0 {
+		pe = f + (1-f)*p
+		// Capacity side: replication keeps per-core cache at C2/P2, so
+		// recompute S with the physical core count.
+		s = pm.CacheCEAs(n, p) / p * pm.CacheMult
+	}
+	return m.RelativeS(pe, s) / pm.TrafficDiv
+}
+
+// Technique is one bandwidth-conservation mechanism. Implementations are
+// small declarative values; all arithmetic happens in Params.
+type Technique interface {
+	// Label is the paper's short x-axis label (CC, DRAM, 3D, Fltr, SmCo,
+	// LC, Sect, SmCl, CC/LC).
+	Label() string
+	// Describe is a one-line human description including parameters.
+	Describe() string
+	// Category classifies the technique (indirect, direct, dual).
+	Category() Category
+	// Modify folds the technique's effect into pm.
+	Modify(pm *Params)
+}
+
+// Stack is an ordered combination of techniques (Fig 16). Order does not
+// affect the resolved Params; it only affects the printed label.
+type Stack struct {
+	techs []Technique
+}
+
+// Combine builds a Stack from the given techniques.
+func Combine(ts ...Technique) Stack {
+	cp := make([]Technique, len(ts))
+	copy(cp, ts)
+	return Stack{techs: cp}
+}
+
+// Techniques returns the stack's members in label order.
+func (s Stack) Techniques() []Technique {
+	cp := make([]Technique, len(s.techs))
+	copy(cp, s.techs)
+	return cp
+}
+
+// Label joins member labels with " + ", e.g. "CC/LC + DRAM + 3D".
+// An empty stack is the paper's BASE configuration.
+func (s Stack) Label() string {
+	if len(s.techs) == 0 {
+		return "BASE"
+	}
+	parts := make([]string, len(s.techs))
+	for i, t := range s.techs {
+		parts[i] = t.Label()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Params resolves the stack into model parameters, applying the one
+// cross-technique interaction the paper uses: when DRAM caching is combined
+// with a 3D-stacked die, the stacked die is built from the same dense DRAM
+// (ExtraDieDensity = DieDensity), as in the Fig 16 combinations.
+func (s Stack) Params() Params {
+	pm := Neutral()
+	for _, t := range s.techs {
+		t.Modify(&pm)
+	}
+	if pm.ExtraDie && pm.DieDensity > pm.ExtraDieDensity {
+		pm.ExtraDieDensity = pm.DieDensity
+	}
+	return pm
+}
+
+// Traffic evaluates the combined stack's M2/M1 at (n, p).
+func (s Stack) Traffic(m power.TrafficModel, n, p float64) float64 {
+	return s.Params().Traffic(m, n, p)
+}

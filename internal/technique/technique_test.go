@@ -1,0 +1,378 @@
+package technique
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/power"
+)
+
+func model(t *testing.T) power.TrafficModel {
+	t.Helper()
+	m, err := power.NewTrafficModel(power.Baseline(), power.AlphaDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNeutralParams(t *testing.T) {
+	pm := Neutral()
+	if err := pm.Validate(); err != nil {
+		t.Fatalf("neutral params invalid: %v", err)
+	}
+	if pm.EffectiveP(12) != 12 {
+		t.Error("neutral EffectiveP must be identity")
+	}
+	if got := pm.CacheCEAs(32, 12); got != 20 {
+		t.Errorf("neutral CacheCEAs(32,12) = %v, want 20", got)
+	}
+	if got := pm.EffectiveS(32, 16); got != 1 {
+		t.Errorf("neutral EffectiveS(32,16) = %v, want 1", got)
+	}
+}
+
+func TestEmptyStackIsBase(t *testing.T) {
+	m := model(t)
+	st := Combine()
+	if st.Label() != "BASE" {
+		t.Errorf("empty stack label = %q, want BASE", st.Label())
+	}
+	// Empty stack traffic must equal raw Eq. 5.
+	raw := m.RelativeS(12, 20.0/12)
+	if got := st.Traffic(m, 32, 12); !numeric.AlmostEqual(got, raw, 1e-12) {
+		t.Errorf("empty stack traffic %v, want %v", got, raw)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{DieDensity: 0.5, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 1, CoreArea: 1},
+		{DieDensity: 1, ExtraDieDensity: 0, CacheMult: 1, TrafficDiv: 1, CoreArea: 1},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 0, TrafficDiv: 1, CoreArea: 1},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 0, CoreArea: 1},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 1, CoreArea: 0},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 1, CoreArea: 1.5},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 1, CoreArea: 1, SharedFrac: 1},
+		{DieDensity: 1, ExtraDieDensity: 1, CacheMult: 1, TrafficDiv: 1, CoreArea: 1, SharedFrac: -0.1},
+	}
+	for i, pm := range bad {
+		if err := pm.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, pm)
+		}
+	}
+}
+
+func TestCacheCompressionEquation8(t *testing.T) {
+	// Eq. 8: M2 = (P2/P1)·(F·S2/S1)^-α·M1.
+	m := model(t)
+	f := 2.0
+	st := Combine(CacheCompression{Ratio: f})
+	p2, n2 := 12.0, 32.0
+	s2 := (n2 - p2) / p2
+	want := (p2 / 8) * math.Pow(f*s2, -0.5)
+	if got := st.Traffic(m, n2, p2); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("CC traffic = %v, want %v", got, want)
+	}
+	if st.Params().TrafficDiv != 1 {
+		t.Error("cache compression must not directly divide traffic")
+	}
+}
+
+func TestDRAMCacheDensity(t *testing.T) {
+	st := Combine(DRAMCache{Density: 8})
+	pm := st.Params()
+	if got := pm.CacheCEAs(32, 12); got != 8*20 {
+		t.Errorf("DRAM cache CEAs = %v, want 160", got)
+	}
+	if pm.ExtraDie {
+		t.Error("DRAM alone must not add a die")
+	}
+}
+
+func TestThreeDEquation9(t *testing.T) {
+	// Eq. 9: cache CEAs = D·N + (N − P) with an SRAM processor-die share.
+	m := model(t)
+	for _, d := range []float64{1, 8, 16} {
+		st := Combine(ThreeDCache{LayerDensity: d})
+		pm := st.Params()
+		n2, p2 := 32.0, 14.0
+		wantCEAs := d*n2 + (n2 - p2)
+		if got := pm.CacheCEAs(n2, p2); !numeric.AlmostEqual(got, wantCEAs, 1e-12) {
+			t.Errorf("3D(%gx) cache CEAs = %v, want %v", d, got, wantCEAs)
+		}
+		want := (p2 / 8) * math.Pow(wantCEAs/p2, -0.5)
+		if got := st.Traffic(m, n2, p2); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("3D(%gx) traffic = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestSmallerCoresEquation10(t *testing.T) {
+	// Eq. 10: S' = (N − f_sm·P)/P.
+	st := Combine(SmallerCores{AreaFraction: 0.25})
+	pm := st.Params()
+	if got := pm.EffectiveS(32, 16); !numeric.AlmostEqual(got, (32-0.25*16)/16, 1e-12) {
+		t.Errorf("S' = %v", got)
+	}
+	// §6.1: even an infinitesimal core only doubles cache per core when
+	// P doubles (proportional scaling needs 4x).
+	tiny := Combine(SmallerCores{AreaFraction: 1e-9}).Params()
+	s16 := tiny.EffectiveS(32, 16)
+	if math.Abs(s16-2) > 1e-6 {
+		t.Errorf("tiny cores S at 16 cores = %v, want ≈2", s16)
+	}
+}
+
+func TestLinkCompressionDirect(t *testing.T) {
+	m := model(t)
+	st := Combine(LinkCompression{Ratio: 2})
+	base := Combine()
+	if got, want := st.Traffic(m, 32, 12), base.Traffic(m, 32, 12)/2; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("LC traffic = %v, want %v", got, want)
+	}
+	if st.Params().CacheMult != 1 {
+		t.Error("link compression must not grow the cache")
+	}
+}
+
+func TestSectoredCacheDirectOnly(t *testing.T) {
+	pm := Combine(SectoredCache{Unused: 0.4}).Params()
+	if !numeric.AlmostEqual(pm.TrafficDiv, 1/0.6, 1e-12) {
+		t.Errorf("Sect divisor = %v, want 1/0.6", pm.TrafficDiv)
+	}
+	if pm.CacheMult != 1 {
+		t.Error("sectored cache must not grow effective capacity (unfilled sectors still occupy space)")
+	}
+}
+
+func TestSmallLinesEquation12(t *testing.T) {
+	// Eq. 12: capacity × 1/(1−fw) and traffic ÷ 1/(1−fw).
+	m := model(t)
+	fw := 0.4
+	st := Combine(SmallCacheLines{Unused: fw})
+	p2, n2 := 16.0, 32.0
+	s2 := (n2 - p2) / p2
+	want := (p2 / 8) * math.Pow(s2/(1-fw), -0.5) * (1 - fw)
+	if got := st.Traffic(m, n2, p2); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("SmCl traffic = %v, want %v", got, want)
+	}
+}
+
+func TestCacheLinkCompressionDual(t *testing.T) {
+	pm := Combine(CacheLinkCompression{Ratio: 2.5}).Params()
+	if pm.CacheMult != 2.5 || pm.TrafficDiv != 2.5 {
+		t.Errorf("CC/LC params = %+v, want 2.5 both ways", pm)
+	}
+}
+
+func TestDataSharingEquation14(t *testing.T) {
+	pm := Combine(DataSharing{SharedFrac: 0.4}).Params()
+	// Eq. 14: P' = f_sh + (1−f_sh)·P.
+	if got := pm.EffectiveP(16); !numeric.AlmostEqual(got, 0.4+0.6*16, 1e-12) {
+		t.Errorf("P' = %v, want 10", got)
+	}
+	// Full-sharing limit: all threads fetch as one core.
+	nearOne := Combine(DataSharing{SharedFrac: 1 - 1e-12}).Params()
+	if got := nearOne.EffectiveP(64); math.Abs(got-1) > 1e-9 {
+		t.Errorf("P' near full sharing = %v, want ≈1", got)
+	}
+	// No sharing is the identity.
+	if got := Neutral().EffectiveP(64); got != 64 {
+		t.Errorf("P' with f_sh=0 = %v, want 64", got)
+	}
+}
+
+func TestSharingAt40PercentAllowsProportionalScaling(t *testing.T) {
+	// Fig 13: with f_sh = 0.4, 16 cores on 32 CEAs generate ≈100% traffic.
+	m := model(t)
+	st := Combine(DataSharing{SharedFrac: 0.4})
+	got := st.Traffic(m, 32, 16)
+	if math.Abs(got-1) > 0.02 {
+		t.Errorf("traffic at f_sh=0.4, 16 cores = %v, want ≈1", got)
+	}
+}
+
+func TestDRAMPlusThreeDUpgradesLayer(t *testing.T) {
+	// Fig 16 interaction: DRAM + 3D builds the stacked die in DRAM too.
+	pm := Combine(DRAMCache{Density: 8}, ThreeDCache{LayerDensity: 1}).Params()
+	if pm.ExtraDieDensity != 8 {
+		t.Errorf("extra-die density = %v, want 8 (inherited from DRAM)", pm.ExtraDieDensity)
+	}
+	if got := pm.CacheCEAs(32, 12); got != 8*(32-12)+8*32 {
+		t.Errorf("combined cache CEAs = %v, want 416", got)
+	}
+	// Order must not matter.
+	pm2 := Combine(ThreeDCache{LayerDensity: 1}, DRAMCache{Density: 8}).Params()
+	if pm != pm2 {
+		t.Errorf("order-dependent params: %+v vs %+v", pm, pm2)
+	}
+}
+
+func TestThreeDDRAMLayerStandalone(t *testing.T) {
+	// Fig 6's "3D DRAM (8x)": dense stacked layer, SRAM on the die.
+	pm := Combine(ThreeDCache{LayerDensity: 8}).Params()
+	if pm.DieDensity != 1 || pm.ExtraDieDensity != 8 {
+		t.Errorf("params = %+v, want on-die SRAM + 8x layer", pm)
+	}
+}
+
+func TestStackLabelAndMembers(t *testing.T) {
+	st := Combine(CacheLinkCompression{Ratio: 2}, DRAMCache{Density: 8}, ThreeDCache{LayerDensity: 1})
+	if got := st.Label(); got != "CC/LC + DRAM + 3D" {
+		t.Errorf("label = %q", got)
+	}
+	if got := len(st.Techniques()); got != 3 {
+		t.Errorf("members = %d, want 3", got)
+	}
+}
+
+func TestStackIsImmutable(t *testing.T) {
+	ts := []Technique{CacheCompression{Ratio: 2}}
+	st := Combine(ts...)
+	ts[0] = LinkCompression{Ratio: 3}
+	if st.Label() != "CC" {
+		t.Error("Combine must copy its input slice")
+	}
+	got := st.Techniques()
+	got[0] = LinkCompression{Ratio: 3}
+	if st.Label() != "CC" {
+		t.Error("Techniques must return a copy")
+	}
+}
+
+func TestCategories(t *testing.T) {
+	cases := []struct {
+		tech Technique
+		want Category
+	}{
+		{CacheCompression{Ratio: 2}, Indirect},
+		{DRAMCache{Density: 8}, Indirect},
+		{ThreeDCache{LayerDensity: 1}, Indirect},
+		{UnusedDataFilter{Unused: 0.4}, Indirect},
+		{SmallerCores{AreaFraction: 0.5}, Indirect},
+		{LinkCompression{Ratio: 2}, Direct},
+		{SectoredCache{Unused: 0.4}, Direct},
+		{SmallCacheLines{Unused: 0.4}, Dual},
+		{CacheLinkCompression{Ratio: 2}, Dual},
+		{DataSharing{SharedFrac: 0.4}, Dual},
+	}
+	for _, tc := range cases {
+		if got := tc.tech.Category(); got != tc.want {
+			t.Errorf("%s category = %v, want %v", tc.tech.Label(), got, tc.want)
+		}
+		if tc.tech.Describe() == "" {
+			t.Errorf("%s has empty description", tc.tech.Label())
+		}
+	}
+	if Indirect.String() != "indirect" || Direct.String() != "direct" || Dual.String() != "dual" {
+		t.Error("Category.String broken")
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category must stringify")
+	}
+}
+
+func TestDirectBeatsIndirectAtEqualFactor(t *testing.T) {
+	// §6.4's central insight: at the same factor F, a direct technique
+	// reduces traffic by F while an indirect one only by F^α.
+	m := model(t)
+	f := 2.0
+	lc := Combine(LinkCompression{Ratio: f}).Traffic(m, 32, 12)
+	cc := Combine(CacheCompression{Ratio: f}).Traffic(m, 32, 12)
+	if !(lc < cc) {
+		t.Errorf("direct (LC=%v) must beat indirect (CC=%v)", lc, cc)
+	}
+	// And dual beats both.
+	dual := Combine(CacheLinkCompression{Ratio: f}).Traffic(m, 32, 12)
+	if !(dual < lc) {
+		t.Errorf("dual (%v) must beat direct (%v)", dual, lc)
+	}
+}
+
+func TestTrafficInfiniteWithoutCache(t *testing.T) {
+	m := model(t)
+	st := Combine()
+	if got := st.Traffic(m, 32, 32); !math.IsInf(got, 1) {
+		t.Errorf("cacheless traffic = %v, want +Inf", got)
+	}
+}
+
+func TestQuickStackParamsOrderInvariant(t *testing.T) {
+	// Property: resolved Params are invariant under permutation of the
+	// stack (checked on a pair swap with random parameters).
+	prop := func(r8, d8, u8 uint8) bool {
+		r := 1 + float64(r8)/64
+		d := 1 + float64(d8%15)
+		u := float64(u8%90) / 100
+		a := Combine(CacheLinkCompression{Ratio: r}, DRAMCache{Density: d}, SmallCacheLines{Unused: u}, ThreeDCache{LayerDensity: 1})
+		b := Combine(ThreeDCache{LayerDensity: 1}, SmallCacheLines{Unused: u}, DRAMCache{Density: d}, CacheLinkCompression{Ratio: r})
+		pa, pb := a.Params(), b.Params()
+		return numeric.AlmostEqual(pa.CacheMult, pb.CacheMult, 1e-12) &&
+			numeric.AlmostEqual(pa.TrafficDiv, pb.TrafficDiv, 1e-12) &&
+			pa.DieDensity == pb.DieDensity &&
+			pa.ExtraDieDensity == pb.ExtraDieDensity &&
+			pa.ExtraDie == pb.ExtraDie
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTrafficMonotoneInCores(t *testing.T) {
+	// Property: any valid stack's traffic is strictly increasing in p on a
+	// fixed die (the premise the scaling solver's bracketing relies on).
+	m, err := power.NewTrafficModel(power.Baseline(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(r8, d8, p8 uint8, threeD bool) bool {
+		r := 1 + float64(r8)/64
+		d := 1 + float64(d8%15)
+		p := 1 + float64(p8%30)
+		ts := []Technique{CacheLinkCompression{Ratio: r}, DRAMCache{Density: d}}
+		if threeD {
+			ts = append(ts, ThreeDCache{LayerDensity: 1})
+		}
+		st := Combine(ts...)
+		return st.Traffic(m, 32, p+1) > st.Traffic(m, 32, p)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataSharingPrivateFootnote1(t *testing.T) {
+	// Footnote 1: with private caches the fetch count shrinks to P' but
+	// cache per core stays C2/P2 — strictly weaker than shared-cache
+	// sharing at the same f_sh.
+	m := model(t)
+	fsh := 0.4
+	priv := Combine(DataSharingPrivate{SharedFrac: fsh})
+	shared := Combine(DataSharing{SharedFrac: fsh})
+	n2, p2 := 32.0, 16.0
+	pPrime := fsh + (1-fsh)*p2
+	wantPriv := (pPrime / 8) * math.Pow((n2-p2)/p2, -0.5)
+	if got := priv.Traffic(m, n2, p2); !numeric.AlmostEqual(got, wantPriv, 1e-12) {
+		t.Errorf("private-cache sharing traffic = %v, want %v", got, wantPriv)
+	}
+	if !(shared.Traffic(m, n2, p2) < priv.Traffic(m, n2, p2)) {
+		t.Error("shared-cache sharing must beat private-cache sharing")
+	}
+	if !(priv.Traffic(m, n2, p2) < Combine().Traffic(m, n2, p2)) {
+		t.Error("private-cache sharing must still beat no sharing")
+	}
+	// Mutual exclusion with shared-cache sharing.
+	both := Combine(DataSharing{SharedFrac: 0.3}, DataSharingPrivate{SharedFrac: 0.3})
+	if err := both.Params().Validate(); err == nil {
+		t.Error("combining both sharing variants must be rejected")
+	}
+	if (DataSharingPrivate{}).Category() != Direct {
+		t.Error("category")
+	}
+	if (DataSharingPrivate{SharedFrac: 0.4}).Describe() == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchAccesses(n int) []Access {
+	out := make([]Access, n)
+	x := uint64(42)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = Access{Addr: (x % (1 << 20)) * 64, Write: x&3 == 0, TID: uint8(x % 16)}
+	}
+	return out
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	as := benchAccesses(1 << 16)
+	b.SetBytes(int64(len(as)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, as); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	as := benchAccesses(1 << 16)
+	var buf bytes.Buffer
+	if err := Write(&buf, as); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(as)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

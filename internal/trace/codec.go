@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "BWT1"
+//	count   uvarint  number of records
+//	records: per access
+//	    flags   byte    bit0 = write, bits1..7 = TID (0..127)
+//	    delta   varint  zig-zag delta of Addr from the previous Addr
+//
+// Delta encoding keeps sequential and looping traces small (typically
+// 2–3 bytes per access instead of 10).
+
+var magic = [4]byte{'B', 'W', 'T', '1'}
+
+// ErrBadMagic indicates the reader input is not a trace stream.
+var ErrBadMagic = errors.New("trace: bad magic (not a BWT1 stream)")
+
+// maxTID is the largest thread id the codec can represent.
+const maxTID = 127
+
+// Write encodes accesses to w in the binary trace format.
+func Write(w io.Writer, as []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(as)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prev uint64
+	for _, a := range as {
+		if a.TID > maxTID {
+			return fmt.Errorf("trace: TID %d exceeds codec limit %d", a.TID, maxTID)
+		}
+		flags := byte(a.TID) << 1
+		if a.Write {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		delta := int64(a.Addr - prev) // wrapping two's-complement delta
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = a.Addr
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace stream written by Write.
+func Read(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxReasonable = 1 << 30
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	}
+	out := make([]Access, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d flags: %w", i, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d delta: %w", i, err)
+		}
+		prev += uint64(delta)
+		out = append(out, Access{
+			Addr:  prev,
+			TID:   flags >> 1,
+			Write: flags&1 != 0,
+		})
+	}
+	return out, nil
+}
+
+// Replayer replays a recorded trace as a Generator, looping at the end.
+type Replayer struct {
+	accesses []Access
+	pos      int
+}
+
+// NewReplayer wraps accesses in a looping Generator. It panics on an empty
+// trace (there is nothing to replay).
+func NewReplayer(accesses []Access) *Replayer {
+	if len(accesses) == 0 {
+		panic("trace: cannot replay an empty trace")
+	}
+	return &Replayer{accesses: accesses}
+}
+
+// Next implements Generator.
+func (r *Replayer) Next() Access {
+	a := r.accesses[r.pos]
+	r.pos++
+	if r.pos == len(r.accesses) {
+		r.pos = 0
+	}
+	return a
+}
+
+// Len returns the length of the underlying trace.
+func (r *Replayer) Len() int { return len(r.accesses) }

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip drives the binary trace codec with arbitrary access
+// streams derived from fuzz bytes.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		as := make([]Access, 0, len(raw)/9)
+		for i := 0; i+9 <= len(raw); i += 9 {
+			var addr uint64
+			for j := 0; j < 8; j++ {
+				addr = addr<<8 | uint64(raw[i+j])
+			}
+			as = append(as, Access{
+				Addr:  addr,
+				Write: raw[i+8]&1 == 1,
+				TID:   (raw[i+8] >> 1) & 0x7f,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, as); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if len(got) != len(as) {
+			t.Fatalf("length %d, want %d", len(got), len(as))
+		}
+		for i := range as {
+			if got[i] != as[i] {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzReadArbitraryBytes ensures the decoder never panics on malformed
+// streams — it must either parse or error.
+func FuzzReadArbitraryBytes(f *testing.F) {
+	f.Add([]byte("BWT1\x01\x00\x02"))
+	f.Add([]byte("XXXX"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = Read(bytes.NewReader(raw)) // must not panic
+	})
+}

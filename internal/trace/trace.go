@@ -1,0 +1,97 @@
+// Package trace defines the memory-access trace representation shared by
+// the workload generators and the cache simulators, plus a compact binary
+// codec so traces can be captured once and replayed across cache
+// configurations (how the paper's Fig 1 sweeps are produced here).
+package trace
+
+import (
+	"fmt"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr  uint64 // byte address
+	TID   uint8  // issuing thread/core id
+	Write bool   // store (true) or load (false)
+}
+
+// Line returns the cache-line address (line index) for the given line size
+// in bytes, which must be a power of two.
+func (a Access) Line(lineBytes int) uint64 {
+	return a.Addr / uint64(lineBytes)
+}
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	op := "R"
+	if a.Write {
+		op = "W"
+	}
+	return fmt.Sprintf("%s[%d] 0x%x", op, a.TID, a.Addr)
+}
+
+// Generator produces an access stream. Implementations must be
+// deterministic given their construction parameters so experiments are
+// reproducible.
+type Generator interface {
+	// Next returns the next access in the stream.
+	Next() Access
+}
+
+// Collect drains n accesses from g into a slice.
+func Collect(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Stats summarizes an access stream.
+type Stats struct {
+	Accesses uint64
+	Writes   uint64
+	Threads  int    // number of distinct TIDs observed
+	Lines    uint64 // distinct 64-byte lines touched (the footprint)
+	MinAddr  uint64
+	MaxAddr  uint64
+}
+
+// WriteFraction returns the fraction of accesses that are stores.
+func (s Stats) WriteFraction() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Accesses)
+}
+
+// FootprintBytes returns the footprint in bytes assuming 64-byte lines.
+func (s Stats) FootprintBytes() uint64 { return s.Lines * 64 }
+
+// Measure computes Stats over a slice of accesses.
+func Measure(as []Access) Stats {
+	var st Stats
+	if len(as) == 0 {
+		return st
+	}
+	st.MinAddr = as[0].Addr
+	lines := make(map[uint64]struct{}, 1024)
+	tids := make(map[uint8]struct{}, 8)
+	for _, a := range as {
+		st.Accesses++
+		if a.Write {
+			st.Writes++
+		}
+		if a.Addr < st.MinAddr {
+			st.MinAddr = a.Addr
+		}
+		if a.Addr > st.MaxAddr {
+			st.MaxAddr = a.Addr
+		}
+		lines[a.Addr/64] = struct{}{}
+		tids[a.TID] = struct{}{}
+	}
+	st.Lines = uint64(len(lines))
+	st.Threads = len(tids)
+	return st
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func BenchmarkStackDistanceNext(b *testing.B) {
+	g, err := NewStackDistance(StackDistanceConfig{
+		Alpha: 0.5, HotLines: 256, FootprintLines: 1 << 18,
+		WriteFraction: 0.3, WritesPerLine: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	g, err := NewZipf(1<<20, 1.2, 0.3, 1, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkSharedPrivateNext(b *testing.B) {
+	g, err := NewSharedPrivate(SharedPrivateConfig{
+		Threads: 16, SharedLines: 1 << 13, PrivateLines: 1 << 13,
+		SharedAccessFrac: 0.5, Skew: 1.1, WriteFraction: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkCollect1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := NewStackDistance(StackDistanceConfig{
+			Alpha: 0.5, HotLines: 256, FootprintLines: 1 << 16,
+			WriteFraction: 0.3, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace.Collect(g, 1_000_000)
+	}
+}

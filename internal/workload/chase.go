@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// PointerChase emits a dependent chain of accesses over a shuffled ring of
+// lines — the classic latency-bound linked-data-structure pattern. Every
+// line is visited exactly once per lap, so miss curves are a step function
+// of the ring size (another non-power-law shape, like the paper's
+// "discrete working set" SPEC apps, but with zero spatial locality and a
+// serialized dependence chain).
+type PointerChase struct {
+	next []uint32 // next[i] = successor line of line i
+	pos  uint32
+	tid  uint8
+	base uint64
+}
+
+// NewPointerChase builds a random Hamiltonian cycle over `lines` lines.
+func NewPointerChase(lines int, seed int64, tid uint8, region uint64) (*PointerChase, error) {
+	if lines < 2 {
+		return nil, fmt.Errorf("workload: pointer chase needs ≥2 lines, got %d", lines)
+	}
+	if lines > 1<<30 {
+		return nil, fmt.Errorf("workload: pointer chase ring too large (%d lines)", lines)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(lines)
+	next := make([]uint32, lines)
+	for i := 0; i < lines; i++ {
+		from := perm[i]
+		to := perm[(i+1)%lines]
+		next[from] = uint32(to)
+	}
+	return &PointerChase{next: next, tid: tid, base: region}, nil
+}
+
+// Next implements trace.Generator.
+func (p *PointerChase) Next() trace.Access {
+	a := trace.Access{Addr: p.base + uint64(p.pos)*LineBytes, TID: p.tid}
+	p.pos = p.next[p.pos]
+	return a
+}
+
+// RingLines returns the cycle length.
+func (p *PointerChase) RingLines() int { return len(p.next) }
+
+// Bursty wraps a generator in a two-state Markov process: in the "burst"
+// state it re-references a small hot set; in the "stream" state it draws
+// from the underlying generator. This models phased bursts of locality on
+// top of any base workload.
+type Bursty struct {
+	rng     *rand.Rand
+	inner   trace.Generator
+	hot     []uint64
+	inBurst bool
+	pEnter  float64 // P(stream → burst)
+	pLeave  float64 // P(burst → stream)
+	hotIdx  int
+}
+
+// NewBursty builds the wrapper. hotLines is the burst working set size;
+// pEnter and pLeave are the Markov transition probabilities (each in
+// (0,1)).
+func NewBursty(inner trace.Generator, hotLines int, pEnter, pLeave float64, seed int64) (*Bursty, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: nil inner generator")
+	}
+	if hotLines < 1 {
+		return nil, fmt.Errorf("workload: burst set must be ≥1 line, got %d", hotLines)
+	}
+	if !(pEnter > 0 && pEnter < 1) || !(pLeave > 0 && pLeave < 1) {
+		return nil, fmt.Errorf("workload: transition probabilities must be in (0,1), got %g/%g", pEnter, pLeave)
+	}
+	b := &Bursty{
+		rng:    rand.New(rand.NewSource(seed)),
+		inner:  inner,
+		hot:    make([]uint64, hotLines),
+		pEnter: pEnter,
+		pLeave: pLeave,
+	}
+	for i := range b.hot {
+		// The hot set lives in its own high region to avoid aliasing the
+		// inner generator's addresses.
+		b.hot[i] = (1 << 45) + uint64(i)*LineBytes
+	}
+	return b, nil
+}
+
+// Next implements trace.Generator.
+func (b *Bursty) Next() trace.Access {
+	if b.inBurst {
+		if b.rng.Float64() < b.pLeave {
+			b.inBurst = false
+		}
+	} else if b.rng.Float64() < b.pEnter {
+		b.inBurst = true
+	}
+	if !b.inBurst {
+		return b.inner.Next()
+	}
+	b.hotIdx++
+	if b.hotIdx >= len(b.hot) {
+		b.hotIdx = 0
+	}
+	return trace.Access{Addr: b.hot[b.hotIdx]}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPointerChaseVisitsEveryLine(t *testing.T) {
+	const lines = 257
+	g, err := NewPointerChase(lines, 5, 1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RingLines() != lines {
+		t.Errorf("RingLines = %d", g.RingLines())
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < lines; i++ {
+		a := g.Next()
+		if a.TID != 1 {
+			t.Fatalf("TID = %d", a.TID)
+		}
+		if a.Addr < 1<<30 {
+			t.Fatalf("address %#x below region", a.Addr)
+		}
+		seen[a.Addr]++
+	}
+	if len(seen) != lines {
+		t.Fatalf("one lap visited %d distinct lines, want %d (Hamiltonian cycle)", len(seen), lines)
+	}
+	// Second lap repeats the same sequence.
+	first := g.Next()
+	for i := 1; i < lines; i++ {
+		g.Next()
+	}
+	if got := g.Next(); got != first {
+		t.Error("ring does not repeat with period = lines")
+	}
+}
+
+func TestPointerChaseValidation(t *testing.T) {
+	if _, err := NewPointerChase(1, 1, 0, 0); err == nil {
+		t.Error("1-line ring accepted")
+	}
+	if _, err := NewPointerChase(1<<30+1, 1, 0, 0); err == nil {
+		t.Error("oversized ring accepted")
+	}
+}
+
+func TestPointerChaseDeterministic(t *testing.T) {
+	mk := func() []trace.Access {
+		g, err := NewPointerChase(64, 9, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Collect(g, 200)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+}
+
+func TestBurstyMixesStates(t *testing.T) {
+	inner, err := NewStrided(1<<20, 0, 0) // cold streaming base
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewBursty(inner, 16, 0.02, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	var hot, stream int
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Addr >= 1<<45 {
+			hot++
+		} else {
+			stream++
+		}
+	}
+	if hot == 0 || stream == 0 {
+		t.Fatalf("states not mixing: hot=%d stream=%d", hot, stream)
+	}
+	// Stationary burst share = pEnter/(pEnter+pLeave) ≈ 0.286.
+	frac := float64(hot) / n
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("burst fraction = %.3f, want ≈0.29", frac)
+	}
+	// The burst set is tiny: hot accesses hit few distinct lines.
+	st := trace.Measure(trace.Collect(g, 10000))
+	if st.Lines == 0 {
+		t.Error("no lines measured")
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	inner, _ := NewStrided(64, 0, 0)
+	if _, err := NewBursty(nil, 16, 0.1, 0.1, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewBursty(inner, 0, 0.1, 0.1, 1); err == nil {
+		t.Error("empty hot set accepted")
+	}
+	for _, p := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := NewBursty(inner, 16, p[0], p[1], 1); err == nil {
+			t.Errorf("transition probs %v accepted", p)
+		}
+	}
+}
+
+// TestPointerChaseStepMissCurve: the chase thrashes any LRU cache smaller
+// than its ring and never misses (after warmup) in one that holds it.
+func TestPointerChaseStepMissCurve(t *testing.T) {
+	g, err := NewPointerChase(1024, 17, 0, 0) // 64KB ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Collect(g, 40000)
+	small := missRateOn(t, tr, 16*1024)
+	large := missRateOn(t, tr, 256*1024)
+	if small < 0.9 {
+		t.Errorf("under-sized cache miss rate = %v, want ≈1 (LRU thrash)", small)
+	}
+	if large > 0.01 {
+		t.Errorf("over-sized cache miss rate = %v, want ≈0", large)
+	}
+}
+
+// missRateOn replays tr through a fully-associative LRU cache of the given
+// size using a simple local model (avoiding an import cycle with cachesim).
+func missRateOn(t *testing.T, tr []trace.Access, sizeBytes int) float64 {
+	t.Helper()
+	capacity := sizeBytes / LineBytes
+	pos := map[uint64]int{}
+	var order []uint64
+	misses, total := 0, 0
+	warm := len(tr) / 4
+	for i, a := range tr {
+		line := a.Line(LineBytes)
+		if i >= warm {
+			total++
+		}
+		if _, ok := pos[line]; ok {
+			// Move to front.
+			idx := pos[line]
+			order = append(order[:idx], order[idx+1:]...)
+			order = append([]uint64{line}, order...)
+			for j, l := range order {
+				pos[l] = j
+			}
+			continue
+		}
+		if i >= warm {
+			misses++
+		}
+		order = append([]uint64{line}, order...)
+		if len(order) > capacity {
+			evict := order[len(order)-1]
+			order = order[:len(order)-1]
+			delete(pos, evict)
+		}
+		for j, l := range order {
+			pos[l] = j
+		}
+	}
+	return float64(misses) / float64(total)
+}
