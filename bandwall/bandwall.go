@@ -167,7 +167,7 @@ func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
-	return e.Run(exp.Options{Quick: quick})
+	return exp.RunOne(e, exp.Options{Quick: quick})
 }
 
 // UnknownExperimentError reports a RunExperiment id miss.

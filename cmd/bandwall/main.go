@@ -24,6 +24,7 @@ import (
 
 	"repro/bandwall"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/render"
 )
 
@@ -36,8 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		usage()
-		return fmt.Errorf("missing subcommand")
+		return fmt.Errorf("missing subcommand (run 'bandwall help' for usage)")
 	}
 	switch args[0] {
 	case "list":
@@ -62,8 +62,7 @@ func run(args []string, out io.Writer) error {
 		usage()
 		return nil
 	default:
-		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return fmt.Errorf("unknown subcommand %q (run 'bandwall help' for usage)", args[0])
 	}
 }
 
@@ -72,14 +71,16 @@ func usage() {
 
 subcommands:
   list      list every figure/table reproduction
-  run       run reproductions:  run [-quick] [-csv DIR] fig02 fig15 | all
-  cores     supportable cores:  cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8"
+  run       run reproductions:  run [-quick] [-csv DIR] [-metrics FILE] [-timings] fig02 fig15 | all
+  cores     supportable cores:  cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
   traffic   relative traffic:   traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
-  sweep     generation sweep:   sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8"
+  sweep     generation sweep:   sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8" [-verbose]
   trace     trace files:        trace gen|stats|sim (see trace -h)
   report    run everything and emit a Markdown report
   selftest  verify every pinned paper number in seconds
   fit       fit α to a miss-curve CSV and project core scaling
+
+profiling (run, report): -cpuprofile FILE  -memprofile FILE  -trace FILE
 `)
 }
 
@@ -101,18 +102,32 @@ func cmdRun(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "also write each experiment's tables as CSV into DIR")
 	jobs := fs.Int("jobs", 4, "parallel workers for 'run all'")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
-	if err := fs.Parse(args); err != nil {
+	metricsFile := fs.String("metrics", "", "write spans and counters as NDJSON to `FILE`")
+	timings := fs.Bool("timings", false, "print a per-experiment timing table after the results")
+	pf := addProfileFlags(fs)
+	ids, err := parseInterleaved(fs, args)
+	if err != nil {
 		return err
 	}
-	ids := fs.Args()
 	if len(ids) == 0 {
 		return fmt.Errorf("run: need experiment ids or 'all'")
 	}
+	var reg *obs.Registry
+	if *metricsFile != "" || *timings {
+		var restore func()
+		reg, restore = enableObs()
+		defer restore()
+	}
+	prof, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer prof.stopQuiet()
 	opts := exp.Options{Quick: *quick}
 	var results []*exp.Result
 	if len(ids) == 1 && ids[0] == "all" {
 		var err error
-		results, err = exp.RunAllParallel(opts, *jobs)
+		results, err = exp.RunAllParallelProgress(opts, *jobs, runProgress())
 		if err != nil {
 			return err
 		}
@@ -143,7 +158,34 @@ func cmdRun(args []string, out io.Writer) error {
 			}
 		}
 	}
-	return nil
+	if *timings {
+		fmt.Fprint(out, timingTable(reg).String())
+	}
+	if *metricsFile != "" {
+		if err := writeMetricsFile(*metricsFile, reg); err != nil {
+			return err
+		}
+	}
+	return prof.stop()
+}
+
+// parseInterleaved parses fs over args, allowing flags and positional
+// arguments in any order ("run all -quick -metrics m.ndjson" and
+// "run -quick all" both work — stdlib flag parsing alone stops at the
+// first positional). Returns the positional arguments in order.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
 }
 
 func writeCSV(dir string, r *exp.Result) error {
@@ -188,9 +230,16 @@ func cmdCores(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cores", flag.ContinueOnError)
 	n2 := fs.Float64("n2", 32, "total chip area in CEAs")
 	budget := fs.Float64("budget", 1, "traffic budget B relative to the baseline")
+	verbose := fs.Bool("verbose", false, "also print solver iteration statistics")
 	mf := addModelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *verbose {
+		var restore func()
+		reg, restore = enableObs()
+		defer restore()
 	}
 	s, st, err := mf.build()
 	if err != nil {
@@ -210,6 +259,9 @@ func cmdCores(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "proportional  : %g\n", s.ProportionalCores(*n2))
 	areaPct := 100 * exact * st.Params().CoreArea / *n2
 	fmt.Fprintf(out, "core die area : %.1f%%\n", areaPct)
+	if *verbose {
+		printSolverObs(out, reg)
+	}
 	return nil
 }
 
@@ -237,9 +289,16 @@ func cmdSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	gens := fs.Int("gens", 4, "number of future generations (area doubles each)")
 	budget := fs.Float64("budget", 1, "per-generation traffic growth budget")
+	verbose := fs.Bool("verbose", false, "also print solver iteration statistics")
 	mf := addModelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *verbose {
+		var restore func()
+		reg, restore = enableObs()
+		defer restore()
 	}
 	s, st, err := mf.build()
 	if err != nil {
@@ -257,5 +316,8 @@ func cmdSweep(args []string, out io.Writer) error {
 		tb.AddRow(p.Gen.String(), p.Gen.N, p.Cores, p.ExactCores, 100*p.AreaFraction, p.Proportional)
 	}
 	fmt.Fprint(out, tb.String())
+	if *verbose {
+		printSolverObs(out, reg)
+	}
 	return nil
 }

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -241,6 +243,197 @@ func TestFitSubcommand(t *testing.T) {
 	}
 	if !strings.Contains(out, "90% CI") {
 		t.Errorf("CI missing:\n%s", out)
+	}
+}
+
+// TestExitCodes re-executes the test binary as the real CLI (via the
+// BANDWALL_BE_MAIN hook below) and asserts on process exit codes and
+// that a bad invocation produces exactly ONE error message on stderr —
+// the regression guarded against is usage() and main() both reporting.
+func TestExitCodes(t *testing.T) {
+	if os.Getenv("BANDWALL_BE_MAIN") == "1" {
+		os.Args = append([]string{"bandwall"}, strings.Split(os.Getenv("BANDWALL_ARGS"), " ")...)
+		if os.Getenv("BANDWALL_ARGS") == "" {
+			os.Args = []string{"bandwall"}
+		}
+		main()
+		os.Exit(0)
+	}
+	cases := []struct {
+		args     string
+		wantCode int
+		wantMsg  string // must appear exactly once on stderr (when set)
+	}{
+		{"bogus", 1, "unknown subcommand"},
+		{"", 1, "missing subcommand"},
+		{"help", 0, ""},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(os.Args[0], "-test.run=TestExitCodes")
+		cmd.Env = append(os.Environ(), "BANDWALL_BE_MAIN=1", "BANDWALL_ARGS="+tc.args)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if exitErr, ok := err.(*exec.ExitError); ok {
+			code = exitErr.ExitCode()
+		} else if err != nil {
+			t.Fatalf("args %q: %v", tc.args, err)
+		}
+		if code != tc.wantCode {
+			t.Errorf("args %q: exit code %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+		}
+		if tc.wantMsg != "" {
+			if n := strings.Count(stderr.String(), tc.wantMsg); n != 1 {
+				t.Errorf("args %q: %q appears %d times on stderr, want exactly 1:\n%s",
+					tc.args, tc.wantMsg, n, stderr.String())
+			}
+		}
+	}
+}
+
+// TestRunMetricsNDJSON covers the acceptance path: run -metrics FILE
+// must write parseable NDJSON holding one wall-clock span per experiment
+// and the cachesim counters.
+func TestRunMetricsNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	if _, err := runCapture(t, "run", "-quick", "-metrics", path, "fig02", "fig15"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]float64{}
+	var cachesimCounters int
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		kind, _ := m["kind"].(string)
+		name, _ := m["name"].(string)
+		switch {
+		case kind == "span":
+			wall, ok := m["wall_ns"].(float64)
+			if !ok || wall <= 0 {
+				t.Errorf("span %s has no positive wall_ns: %v", name, m["wall_ns"])
+			}
+			spans[name] = wall
+		case kind == "counter" && strings.HasPrefix(name, "cachesim."):
+			cachesimCounters++
+		}
+	}
+	for _, want := range []string{"exp.fig02", "exp.fig15"} {
+		if _, ok := spans[want]; !ok {
+			t.Errorf("NDJSON missing span %q (have %v)", want, spans)
+		}
+	}
+	if cachesimCounters == 0 {
+		t.Error("NDJSON contains no cachesim counters")
+	}
+}
+
+// TestRunMetricsCountsSimWork asserts a simulation-backed experiment
+// drives the cachesim counters to nonzero values in the dump.
+func TestRunMetricsCountsSimWork(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	if _, err := runCapture(t, "run", "-quick", "-metrics", path, "writeback"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accesses float64
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m["kind"] == "counter" && m["name"] == "cachesim.accesses" {
+			accesses, _ = m["value"].(float64)
+		}
+	}
+	if accesses == 0 {
+		t.Error("cachesim.accesses is 0 after a simulation-backed experiment")
+	}
+}
+
+func TestRunTimings(t *testing.T) {
+	out, err := runCapture(t, "run", "-quick", "-timings", "fig02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Per-experiment timings") || !strings.Contains(out, "fig02") {
+		t.Errorf("timings table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TOTAL") {
+		t.Errorf("timings total missing:\n%s", out)
+	}
+}
+
+func TestCoresVerbose(t *testing.T) {
+	out, err := runCapture(t, "cores", "-n2", "256", "-verbose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "numeric.brent.iterations") {
+		t.Errorf("verbose output missing solver stats:\n%s", out)
+	}
+	if !strings.Contains(out, "calls") {
+		t.Errorf("verbose output missing call counts:\n%s", out)
+	}
+	// Non-verbose output must stay clean.
+	out, err = runCapture(t, "cores", "-n2", "256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "solver obs") {
+		t.Errorf("solver stats leaked without -verbose:\n%s", out)
+	}
+}
+
+func TestSweepVerbose(t *testing.T) {
+	out, err := runCapture(t, "sweep", "-tech", "DRAM=8", "-verbose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "numeric.brent.iterations") {
+		t.Errorf("verbose output missing solver stats:\n%s", out)
+	}
+}
+
+// TestRunProfiles smoke-tests the pprof/trace hooks: files must exist
+// and be non-empty after a profiled run.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	args := []string{"run", "-quick", "-cpuprofile", cpu, "-memprofile", mem, "-trace", trc, "fig02"}
+	if _, err := runCapture(t, args...); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestReportHasTimings(t *testing.T) {
+	out, err := runCapture(t, "report", "-quick", "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "## Timings") {
+		t.Errorf("report missing timings section:\n%.400s", out)
 	}
 }
 

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cachesim"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+	"repro/internal/perfsim"
+	"repro/internal/render"
+)
+
+// enableObs installs a fresh metrics registry as the process default and
+// pre-registers every instrumented subsystem's metric names, so dumps
+// have a stable shape even when a run never touches a subsystem (the
+// model-exact figures construct no caches). The returned restore func
+// reinstalls whatever registry was active before.
+func enableObs() (*obs.Registry, func()) {
+	prev := obs.Default()
+	reg := obs.NewRegistry()
+	cachesim.RegisterObs(reg)
+	perfsim.RegisterObs(reg)
+	numeric.RegisterObs(reg)
+	obs.SetDefault(reg)
+	return reg, func() { obs.SetDefault(prev) }
+}
+
+// writeMetricsFile dumps the registry as NDJSON to path.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := reg.WriteNDJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// timingTable renders the registry's experiment spans, slowest first.
+func timingTable(reg *obs.Registry) *render.Table {
+	snap := reg.Snapshot()
+	spans := snap.Spans[:0:0]
+	for _, sp := range snap.Spans {
+		if strings.HasPrefix(sp.Name, "exp.") {
+			spans = append(spans, sp)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Wall > spans[j].Wall })
+	tb := &render.Table{
+		Title:   "Per-experiment timings (wall-clock; allocations are process-wide over the span)",
+		Headers: []string{"experiment", "wall ms", "alloc MB", "mallocs"},
+	}
+	var totalNS int64
+	for _, sp := range spans {
+		totalNS += sp.Wall.Nanoseconds()
+		tb.AddRow(strings.TrimPrefix(sp.Name, "exp."),
+			fmt.Sprintf("%.2f", float64(sp.Wall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.2f", float64(sp.AllocBytes)/(1<<20)),
+			sp.Mallocs)
+	}
+	tb.AddRow("TOTAL", fmt.Sprintf("%.2f", float64(totalNS)/1e6), "", "")
+	return tb
+}
+
+// printSolverObs prints the numeric solvers' convergence metrics in the
+// CLI's aligned "key : value" style, for the cores/sweep -verbose flag.
+func printSolverObs(out io.Writer, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	for _, h := range snap.Histograms {
+		if !strings.HasPrefix(h.Name, "numeric.") {
+			continue
+		}
+		if h.Count == 0 {
+			fmt.Fprintf(out, "solver obs    : %-26s 0 calls\n", h.Name)
+			continue
+		}
+		fmt.Fprintf(out, "solver obs    : %-26s %d calls, %.0f iterations (avg %.1f)\n",
+			h.Name, h.Count, h.Sum, h.Mean())
+	}
+	for _, c := range snap.Counters {
+		if !strings.HasPrefix(c.Name, "numeric.") {
+			continue
+		}
+		fmt.Fprintf(out, "solver obs    : %-26s %d\n", c.Name, c.Value)
+	}
+}
+
+// runProgress returns a RunAllParallelProgress callback that keeps one
+// rewriting status line on stderr, or nil when stderr is not a terminal
+// (so tests, pipes, and CI logs stay clean).
+func runProgress() func(done, total int, id string) {
+	fi, err := os.Stderr.Stat()
+	if err != nil || fi.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(done, total int, id string) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(os.Stderr, "\rbandwall: %d/%d experiments done (last: %s)\x1b[K", done, total, id)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// profileFlags are the CLI's profiling hooks, shared by the long-running
+// subcommands (run, report). Each flag is an output path; empty disables.
+type profileFlags struct {
+	cpu   *string
+	mem   *string
+	trace *string
+}
+
+// addProfileFlags registers -cpuprofile/-memprofile/-trace on fs.
+func addProfileFlags(fs *flag.FlagSet) profileFlags {
+	return profileFlags{
+		cpu:   fs.String("cpuprofile", "", "write a pprof CPU profile to `FILE`"),
+		mem:   fs.String("memprofile", "", "write a pprof heap profile to `FILE` at exit"),
+		trace: fs.String("trace", "", "write a runtime/trace execution trace to `FILE`"),
+	}
+}
+
+// profiler owns the live profiling state between start and stop.
+type profiler struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+	stopped   bool
+}
+
+// start begins CPU profiling and execution tracing as requested. The
+// caller must invoke stop (and should defer stopQuiet for error paths).
+func (p profileFlags) start() (*profiler, error) {
+	pr := &profiler{memPath: *p.mem}
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		pr.cpuFile = f
+	}
+	if *p.trace != "" {
+		f, err := os.Create(*p.trace)
+		if err != nil {
+			pr.stopQuiet()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			pr.stopQuiet()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		pr.traceFile = f
+	}
+	return pr, nil
+}
+
+// stop finalizes all requested profiles: it flushes the CPU profile and
+// trace, then snapshots the heap profile (after a GC, so it reflects live
+// objects). Idempotent.
+func (p *profiler) stop() error {
+	if p == nil || p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if p.traceFile != nil {
+		rtrace.Stop()
+		if err := p.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace: %w", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// stopQuiet is stop for defer on error paths, discarding the error.
+func (p *profiler) stopQuiet() { _ = p.stop() }

@@ -29,6 +29,7 @@ type Cache struct {
 	tick       uint64
 	rng        uint64 // xorshift state for Random policy
 	stats      Stats
+	obs        cacheObs
 }
 
 // New builds a cache from cfg.
@@ -50,6 +51,7 @@ func New(cfg Config) (*Cache, error) {
 		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		sectorsPer: 1,
 		rng:        0x9e3779b97f4a7c15,
+		obs:        newCacheObs(),
 	}
 	if cfg.SectorBytes != 0 {
 		c.sectorsPer = cfg.LineBytes / cfg.SectorBytes
@@ -106,6 +108,7 @@ func (c *Cache) sectorOf(addr uint64) int {
 // Access runs one reference through the cache.
 func (c *Cache) Access(a trace.Access) Result {
 	c.stats.Accesses++
+	c.obs.accesses.Inc()
 	c.tick++
 	lineAddr := a.Addr >> c.lineShift
 	setIdx := lineAddr & c.setMask
@@ -123,6 +126,7 @@ func (c *Cache) Access(a trace.Access) Result {
 		if c.sectorsPer > 1 && w.sectors&sectorBit == 0 {
 			// Sector miss on a present line: fetch just the sector.
 			c.stats.Misses++
+			c.obs.misses.Inc()
 			w.sectors |= sectorBit
 			c.touch(setIdx, i)
 			res := Result{FillBytes: c.cfg.SectorBytes}
@@ -132,6 +136,7 @@ func (c *Cache) Access(a trace.Access) Result {
 		}
 		// Hit.
 		c.stats.Hits++
+		c.obs.hits.Inc()
 		c.touch(setIdx, i)
 		var res Result
 		res.Hit = true
@@ -141,6 +146,7 @@ func (c *Cache) Access(a trace.Access) Result {
 
 	// Miss.
 	c.stats.Misses++
+	c.obs.misses.Inc()
 	if a.Write && !c.cfg.WriteAllocate && !c.cfg.WriteBack {
 		// Write-through no-allocate: the store goes straight past.
 		res := Result{WriteBackBytes: c.storeBytes()}
@@ -153,9 +159,11 @@ func (c *Cache) Access(a trace.Access) Result {
 	if w.valid {
 		res.Evicted = true
 		c.stats.Evictions++
+		c.obs.evictions.Inc()
 		if w.dirty {
 			res.WroteBack = true
 			c.stats.WriteBacks++
+			c.obs.writeBacks.Inc()
 			res.WriteBackBytes += c.dirtyBytes(w)
 			c.stats.WriteBackBytes += uint64(c.dirtyBytes(w))
 		}

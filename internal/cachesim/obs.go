@@ -1,0 +1,52 @@
+package cachesim
+
+import "repro/internal/obs"
+
+// Metric names exported to the process-default obs registry. They
+// aggregate across every live Cache (all levels of a hierarchy included),
+// complementing the per-instance Stats struct.
+const (
+	obsAccesses   = "cachesim.accesses"
+	obsHits       = "cachesim.hits"
+	obsMisses     = "cachesim.misses"
+	obsEvictions  = "cachesim.evictions"
+	obsWriteBacks = "cachesim.writebacks"
+)
+
+// cacheObs holds the counters a Cache increments on its access path. All
+// fields are nil when metrics collection is disabled, making every
+// increment a no-op (see internal/obs).
+type cacheObs struct {
+	accesses   *obs.Counter
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+	writeBacks *obs.Counter
+}
+
+// newCacheObs fetches the package's counters from the process-default
+// registry once, at cache construction time, keeping the per-access cost
+// to a nil check when disabled and an atomic add when enabled.
+func newCacheObs() cacheObs {
+	reg := obs.Default()
+	if reg == nil {
+		return cacheObs{}
+	}
+	return cacheObs{
+		accesses:   reg.Counter(obsAccesses),
+		hits:       reg.Counter(obsHits),
+		misses:     reg.Counter(obsMisses),
+		evictions:  reg.Counter(obsEvictions),
+		writeBacks: reg.Counter(obsWriteBacks),
+	}
+}
+
+// RegisterObs pre-creates this package's counters in reg so metric dumps
+// have a stable shape even for runs that never construct a cache.
+func RegisterObs(reg *obs.Registry) {
+	reg.Counter(obsAccesses)
+	reg.Counter(obsHits)
+	reg.Counter(obsMisses)
+	reg.Counter(obsEvictions)
+	reg.Counter(obsWriteBacks)
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/render"
 )
 
@@ -113,11 +114,23 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// RunOne executes one experiment wrapped in an obs span named
+// "exp.<id>", so any live metrics registry records its wall-clock and
+// allocation footprint. With collection disabled the span is a free
+// no-op. This is the entry point the CLI and the parallel driver share;
+// calling e.Run directly skips instrumentation.
+func RunOne(e Experiment, o Options) (*Result, error) {
+	sp := obs.StartSpan("exp." + e.ID)
+	r, err := e.Run(o)
+	sp.End()
+	return r, err
+}
+
 // RunAll executes every registered experiment, stopping at the first error.
 func RunAll(o Options) ([]*Result, error) {
 	out := make([]*Result, 0, len(Registry))
 	for _, e := range Registry {
-		r, err := e.Run(o)
+		r, err := RunOne(e, o)
 		if err != nil {
 			return nil, fmt.Errorf("exp %s: %w", e.ID, err)
 		}

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // RunAllParallel executes every registered experiment concurrently with at
@@ -11,28 +13,61 @@ import (
 // generators and simulators), so this is a pure latency win for the CLI's
 // `run all`.
 func RunAllParallel(o Options, workers int) ([]*Result, error) {
+	return RunAllParallelProgress(o, workers, nil)
+}
+
+// RunAllParallelProgress is RunAllParallel with a completion callback.
+//
+// A fixed pool of `workers` goroutines pulls experiment indices from a
+// channel, so at most `workers` experiment drivers exist at any moment —
+// experiments allocate lazily instead of all 30+ eagerly. Each run is
+// wrapped in an obs span via RunOne.
+//
+// onDone, when non-nil, is invoked after each experiment finishes with
+// the number completed so far, the total, and the experiment id. It is
+// called from worker goroutines and must be safe for concurrent use.
+//
+// Unlike a fail-fast driver, every experiment runs to completion and all
+// failures are reported, joined with errors.Join in registry order.
+func RunAllParallelProgress(o Options, workers int, onDone func(done, total int, id string)) ([]*Result, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("exp: workers must be ≥ 1, got %d", workers)
 	}
-	results := make([]*Result, len(Registry))
-	errs := make([]error, len(Registry))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, e := range Registry {
-		wg.Add(1)
-		go func(i int, e Experiment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := e.Run(o)
-			results[i], errs[i] = r, err
-		}(i, e)
+	total := len(Registry)
+	if workers > total {
+		workers = total
 	}
+	results := make([]*Result, total)
+	errs := make([]error, total)
+	idxs := make(chan int)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxs {
+				e := Registry[i]
+				results[i], errs[i] = RunOne(e, o)
+				if onDone != nil {
+					onDone(int(done.Add(1)), total, e.ID)
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		idxs <- i
+	}
+	close(idxs)
 	wg.Wait()
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp %s: %w", Registry[i].ID, err)
+			failures = append(failures, fmt.Errorf("exp %s: %w", Registry[i].ID, err))
 		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
 	}
 	return results, nil
 }

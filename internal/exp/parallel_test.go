@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withStubRegistry swaps Registry for a synthetic experiment set and
+// restores it on cleanup. Tests using it must not run in parallel with
+// other tests in this package (none here call t.Parallel).
+func withStubRegistry(t *testing.T, exps []Experiment) {
+	t.Helper()
+	saved := Registry
+	Registry = exps
+	t.Cleanup(func() { Registry = saved })
+}
+
+// stubExperiments builds n experiments whose run durations vary so that,
+// under concurrency, completion order differs from registry order.
+func stubExperiments(n int, ran *atomic.Int64) []Experiment {
+	exps := make([]Experiment, n)
+	for i := 0; i < n; i++ {
+		i := i
+		id := fmt.Sprintf("stub%02d", i)
+		exps[i] = Experiment{
+			ID:    id,
+			Title: "stub " + id,
+			Paper: "n/a",
+			Run: func(o Options) (*Result, error) {
+				// Later-registered experiments finish sooner.
+				time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
+				if ran != nil {
+					ran.Add(1)
+				}
+				return &Result{ID: id, Values: map[string]float64{"i": float64(i)}}, nil
+			},
+		}
+	}
+	return exps
+}
+
+// TestRunAllParallelOrder runs the pool with workers=4 (the CI race job
+// executes this file under -race) and asserts the result slice matches
+// registry order even though completion order is scrambled.
+func TestRunAllParallelOrder(t *testing.T) {
+	var ran atomic.Int64
+	withStubRegistry(t, stubExperiments(24, &ran))
+	results, err := RunAllParallel(Options{Quick: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Registry) {
+		t.Fatalf("got %d results, want %d", len(results), len(Registry))
+	}
+	if got := ran.Load(); got != int64(len(Registry)) {
+		t.Errorf("ran %d experiments, want %d", got, len(Registry))
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("results[%d] is nil", i)
+		}
+		if r.ID != Registry[i].ID {
+			t.Errorf("results[%d] = %s, want %s (registry order must be preserved)", i, r.ID, Registry[i].ID)
+		}
+	}
+}
+
+// TestRunAllParallelProgress asserts the callback fires once per
+// experiment with a strictly increasing completion count reaching total.
+func TestRunAllParallelProgress(t *testing.T) {
+	withStubRegistry(t, stubExperiments(12, nil))
+	var mu sync.Mutex
+	var calls int
+	var maxDone int
+	_, err := RunAllParallelProgress(Options{Quick: true}, 4, func(done, total int, id string) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if done > maxDone {
+			maxDone = done
+		}
+		if total != 12 {
+			t.Errorf("total = %d, want 12", total)
+		}
+		if !strings.HasPrefix(id, "stub") {
+			t.Errorf("unexpected id %q", id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 || maxDone != 12 {
+		t.Errorf("callback fired %d times (max done %d), want 12/12", calls, maxDone)
+	}
+}
+
+// TestRunAllParallelErrors injects two failing experiments and asserts
+// BOTH errors survive (errors.Join), not just the first in registry
+// order, and that no partial results leak.
+func TestRunAllParallelErrors(t *testing.T) {
+	errBoom := errors.New("boom")
+	errBang := errors.New("bang")
+	exps := stubExperiments(8, nil)
+	exps[2] = Experiment{ID: "bad-early", Title: "t", Paper: "p", Run: func(Options) (*Result, error) { return nil, errBoom }}
+	exps[6] = Experiment{ID: "bad-late", Title: "t", Paper: "p", Run: func(Options) (*Result, error) { return nil, errBang }}
+	withStubRegistry(t, exps)
+	results, err := RunAllParallel(Options{Quick: true}, 4)
+	if err == nil {
+		t.Fatal("want error from failing experiments")
+	}
+	if results != nil {
+		t.Error("results must be nil on failure")
+	}
+	if !errors.Is(err, errBoom) || !errors.Is(err, errBang) {
+		t.Errorf("joined error must wrap both failures, got: %v", err)
+	}
+	for _, want := range []string{"exp bad-early", "exp bad-late"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRunAllParallelBadWorkers covers the guard rail.
+func TestRunAllParallelBadWorkers(t *testing.T) {
+	for _, w := range []int{0, -1} {
+		if _, err := RunAllParallel(Options{Quick: true}, w); err == nil {
+			t.Errorf("workers=%d accepted", w)
+		}
+	}
+}
+
+// TestRunAllParallelBoundsConcurrency asserts the worker-pool rewrite's
+// point: no more experiments are in flight at once than workers.
+func TestRunAllParallelBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	exps := make([]Experiment, 10)
+	for i := range exps {
+		id := fmt.Sprintf("gate%02d", i)
+		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a", Run: func(Options) (*Result, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return &Result{ID: id}, nil
+		}}
+	}
+	withStubRegistry(t, exps)
+	if _, err := RunAllParallel(Options{Quick: true}, workers); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds workers %d", p, workers)
+	}
+}

@@ -36,18 +36,22 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 	}
 	fa, fb := f(a), f(b)
 	if fa == 0 {
+		observeIters(obsBisectIters, 0)
 		return a, nil
 	}
 	if fb == 0 {
+		observeIters(obsBisectIters, 0)
 		return b, nil
 	}
 	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		observeBracketFailure()
 		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
 	}
 	for i := 0; i < maxIter; i++ {
 		mid := 0.5 * (a + b)
 		fm := f(mid)
 		if fm == 0 || (b-a)/2 < tol {
+			observeIters(obsBisectIters, i+1)
 			return mid, nil
 		}
 		if fa*fm < 0 {
@@ -57,6 +61,7 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 		}
 		_ = fb
 	}
+	observeIters(obsBisectIters, maxIter)
 	return 0.5 * (a + b), ErrNoConverge
 }
 
@@ -69,12 +74,15 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	}
 	fa, fb := f(a), f(b)
 	if fa == 0 {
+		observeIters(obsBrentIters, 0)
 		return a, nil
 	}
 	if fb == 0 {
+		observeIters(obsBrentIters, 0)
 		return b, nil
 	}
 	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		observeBracketFailure()
 		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
 	}
 	// Ensure |f(b)| <= |f(a)| so b is the best estimate.
@@ -87,6 +95,7 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	var d float64
 	for i := 0; i < maxIter; i++ {
 		if fb == 0 || math.Abs(b-a) < tol {
+			observeIters(obsBrentIters, i)
 			return b, nil
 		}
 		var s float64
@@ -127,6 +136,7 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 			fa, fb = fb, fa
 		}
 	}
+	observeIters(obsBrentIters, maxIter)
 	return b, ErrNoConverge
 }
 
@@ -141,21 +151,26 @@ func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
 	for i := 0; i < maxIter; i++ {
 		fx := f(x)
 		if math.Abs(fx) < tol {
+			observeIters(obsNewtonIters, i)
 			return x, nil
 		}
 		dfx := df(x)
 		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			observeIters(obsNewtonIters, i)
 			return 0, fmt.Errorf("%w: derivative %g at x=%g", ErrNoConverge, dfx, x)
 		}
 		next := x - fx/dfx
 		if math.IsNaN(next) || math.IsInf(next, 0) {
+			observeIters(obsNewtonIters, i)
 			return 0, fmt.Errorf("%w: iterate diverged at x=%g", ErrNoConverge, x)
 		}
 		if math.Abs(next-x) < tol {
+			observeIters(obsNewtonIters, i+1)
 			return next, nil
 		}
 		x = next
 	}
+	observeIters(obsNewtonIters, maxIter)
 	return x, ErrNoConverge
 }
 
@@ -175,5 +190,6 @@ func BracketUp(f func(float64) float64, a, b float64) (lo, hi float64, err error
 		a, fa = b, fb
 		b *= 2
 	}
+	observeBracketFailure()
 	return 0, 0, ErrNoBracket
 }

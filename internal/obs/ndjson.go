@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+)
+
+// NDJSON line shapes. Every line carries a "kind" discriminator so
+// consumers can stream-filter without schema knowledge. The overflow
+// histogram bucket's upper bound is encoded as null (JSON has no +Inf).
+type (
+	ndjsonSpan struct {
+		Kind       string  `json:"kind"` // "span"
+		Name       string  `json:"name"`
+		Start      string  `json:"start"` // RFC3339Nano
+		WallNS     int64   `json:"wall_ns"`
+		WallMS     float64 `json:"wall_ms"`
+		AllocBytes uint64  `json:"alloc_bytes"`
+		Mallocs    uint64  `json:"mallocs"`
+	}
+	ndjsonCounter struct {
+		Kind  string `json:"kind"` // "counter"
+		Name  string `json:"name"`
+		Value uint64 `json:"value"`
+	}
+	ndjsonGauge struct {
+		Kind  string  `json:"kind"` // "gauge"
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
+	ndjsonBucket struct {
+		LE    *float64 `json:"le"` // nil encodes the +Inf overflow bucket
+		Count uint64   `json:"count"`
+	}
+	ndjsonHistogram struct {
+		Kind    string         `json:"kind"` // "histogram"
+		Name    string         `json:"name"`
+		Count   uint64         `json:"count"`
+		Sum     float64        `json:"sum"`
+		Buckets []ndjsonBucket `json:"buckets"`
+	}
+)
+
+// WriteNDJSON emits the registry's snapshot as newline-delimited JSON:
+// one object per span (in completion order), then per counter, gauge, and
+// histogram (each sorted by name). A nil registry writes nothing.
+func (r *Registry) WriteNDJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	enc := json.NewEncoder(w)
+	for _, sp := range snap.Spans {
+		line := ndjsonSpan{
+			Kind:       "span",
+			Name:       sp.Name,
+			Start:      sp.Start.Format(time.RFC3339Nano),
+			WallNS:     sp.Wall.Nanoseconds(),
+			WallMS:     float64(sp.Wall.Nanoseconds()) / 1e6,
+			AllocBytes: sp.AllocBytes,
+			Mallocs:    sp.Mallocs,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, c := range snap.Counters {
+		if err := enc.Encode(ndjsonCounter{Kind: "counter", Name: c.Name, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if err := enc.Encode(ndjsonGauge{Kind: "gauge", Name: g.Name, Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		line := ndjsonHistogram{
+			Kind:    "histogram",
+			Name:    h.Name,
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Buckets: make([]ndjsonBucket, len(h.Buckets)),
+		}
+		for i, b := range h.Buckets {
+			if math.IsInf(b.LE, 1) {
+				line.Buckets[i] = ndjsonBucket{LE: nil, Count: b.Count}
+			} else {
+				le := b.LE
+				line.Buckets[i] = ndjsonBucket{LE: &le, Count: b.Count}
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

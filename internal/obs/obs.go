@@ -1,0 +1,346 @@
+// Package obs is the repository's lightweight, dependency-free
+// observability layer: a metrics registry of atomic counters, gauges, and
+// fixed-bucket histograms, plus run-scoped spans that capture wall-clock
+// and allocation deltas. The CLI snapshots a registry after a run to print
+// timing tables and to emit a machine-readable NDJSON dump.
+//
+// Instrumentation is zero-cost when disabled: every instrument method has
+// a nil receiver fast path, and a nil *Registry hands out nil instruments,
+// so packages can unconditionally write
+//
+//	ctr := obs.Default().Counter("cachesim.accesses") // nil when disabled
+//	ctr.Inc()                                         // no-op on nil
+//
+// without branching on whether metrics collection is on. The disabled
+// path performs no allocations (see bench_test.go).
+//
+// The process-default registry is nil until a caller (normally the
+// bandwall CLI, behind -metrics/-timings/-verbose) installs one with
+// SetDefault. Hot paths should fetch instruments once — at construction
+// or function entry — and reuse them.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// NOT usable; obtain counters from a Registry. A nil *Counter is a valid
+// no-op sink.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name ("" on a nil receiver).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomically updated float64 level. A nil *Gauge is a valid
+// no-op sink.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored level (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the gauge's registered name ("" on a nil receiver).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Histogram is a fixed-bucket histogram with inclusive upper bounds plus
+// an implicit +Inf overflow bucket. A nil *Histogram is a valid no-op
+// sink. Observations are lock-free atomic increments.
+type Histogram struct {
+	name    string
+	bounds  []float64 // sorted ascending; bucket i holds v <= bounds[i]
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records v into its bucket. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the histogram's registered name ("" on a nil receiver).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Registry owns a namespace of instruments and the span log for one run.
+// All methods are safe for concurrent use, and all lookup methods are
+// safe on a nil receiver (they return nil instruments, completing the
+// no-op chain).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	spans  []SpanRecord
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil on a
+// nil registry. bounds are inclusive upper bucket bounds; they must be
+// sorted ascending and are copied. If the name already exists the
+// existing histogram is returned and bounds are ignored, so concurrent
+// registrations of one name must agree on bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// defaultReg holds the process-default registry; nil means disabled.
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs r as the process-default registry. Passing nil
+// disables collection. Intended to be called once per run by the CLI
+// before any instrumented work starts.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-default registry, or nil when collection is
+// disabled. The nil result is safe to use directly: all its lookup
+// methods return nil no-op instruments.
+func Default() *Registry { return defaultReg.Load() }
+
+// Snapshot is a point-in-time, sorted copy of a registry's contents,
+// suitable for rendering or JSON encoding.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+	Spans      []SpanRecord
+}
+
+// CounterValue is one counter's snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one gauge's snapshot.
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// Bucket is one histogram bucket: the count of observations v <= LE that
+// fell in no earlier bucket. The overflow bucket has LE = +Inf.
+type Bucket struct {
+	LE    float64
+	Count uint64
+}
+
+// HistogramValue is one histogram's snapshot.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot copies the registry's current state, instruments sorted by
+// name and spans in completion order. A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:    name,
+			Count:   h.count.Load(),
+			Sum:     math.Float64frombits(h.sumBits.Load()),
+			Buckets: make([]Bucket, len(h.counts)),
+		}
+		for i := range h.counts {
+			le := math.Inf(1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hv.Buckets[i] = Bucket{LE: le, Count: h.counts[i].Load()}
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	r.mu.RUnlock()
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+
+	r.spanMu.Lock()
+	s.Spans = append([]SpanRecord(nil), r.spans...)
+	r.spanMu.Unlock()
+	return s
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// SpanRecord is one completed span: a named region of a run with its
+// wall-clock duration and the process-wide allocation activity that
+// happened while it was open. Allocation figures come from
+// runtime.ReadMemStats deltas, so under concurrency they include other
+// goroutines' allocations — treat them as attribution hints, not exact
+// per-span costs.
+type SpanRecord struct {
+	Name       string
+	Start      time.Time
+	Wall       time.Duration
+	AllocBytes uint64 // delta of MemStats.TotalAlloc over the span
+	Mallocs    uint64 // delta of MemStats.Mallocs over the span
+}
+
+// Span is an open timing region. Obtain one from Registry.StartSpan or
+// the package-level StartSpan; close it with End. A nil *Span is a valid
+// no-op, so callers never need to branch on whether collection is
+// enabled.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	m0    runtime.MemStats
+}
+
+// StartSpan opens a span named name against the process-default registry.
+// When collection is disabled it returns nil, and the later End is a free
+// no-op.
+func StartSpan(name string) *Span { return Default().StartSpan(name) }
+
+// StartSpan opens a span recorded into r when ended. A nil registry
+// returns a nil (no-op) span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{reg: r, name: name, start: time.Now()}
+	runtime.ReadMemStats(&sp.m0)
+	return sp
+}
+
+// End closes the span and records it. No-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	rec := SpanRecord{
+		Name:       s.name,
+		Start:      s.start,
+		Wall:       time.Since(s.start),
+		AllocBytes: m1.TotalAlloc - s.m0.TotalAlloc,
+		Mallocs:    m1.Mallocs - s.m0.Mallocs,
+	}
+	s.reg.spanMu.Lock()
+	s.reg.spans = append(s.reg.spans, rec)
+	s.reg.spanMu.Unlock()
+}

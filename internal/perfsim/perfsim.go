@@ -110,6 +110,8 @@ func Run(cfg Config, cycles uint64) (Result, error) {
 	}
 	serviceCycles := float64(cfg.LineBytes) / cfg.ChannelBytesPerCycle
 	var res Result
+	ob := newSimObs()
+	busy := 0.0 // total service time scheduled on the channel
 	// channelFree is the cycle at which the channel next becomes idle
 	// (FIFO service, fractional cycles accumulated exactly).
 	channelFree := 0.0
@@ -134,6 +136,11 @@ func Run(cfg Config, cycles uint64) (Result, error) {
 			if channelFree > start {
 				start = channelFree
 			}
+			if ob.queueDepth != nil {
+				// Backlog ahead of this request, in whole transfers.
+				ob.queueDepth.Observe((start - float64(t)) / serviceCycles)
+			}
+			busy += serviceCycles
 			channelFree = start + serviceCycles
 			c.readyAt = uint64(channelFree) + uint64(cfg.MemLatencyCycles)
 		}
@@ -142,6 +149,7 @@ func Run(cfg Config, cycles uint64) (Result, error) {
 	for i := range cores {
 		res.Instructions += cores[i].instrs
 	}
+	ob.busyCycles.Add(uint64(busy + 0.5))
 	return res, nil
 }
 
