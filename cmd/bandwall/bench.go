@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/mattson"
+	"repro/internal/trace"
+)
+
+// benchResult is the JSON shape recorded by `bandwall bench`: one
+// measurement per pipeline plus the derived ratios the acceptance criteria
+// track. Both pipelines run in this one process over the identical
+// replayed trace, so the ratios are meaningful even on noisy machines.
+type benchResult struct {
+	Name     string      `json:"name"`
+	BestOf   int         `json:"best_of"`
+	Config   benchConfig `json:"config"`
+	Brute    benchSide   `json:"brute"`
+	Mattson  benchSide   `json:"mattson"`
+	Speedup  float64     `json:"speedup"`         // brute ns/op ÷ mattson ns/op
+	AllocRed float64     `json:"alloc_reduction"` // brute B/op ÷ mattson B/op
+}
+
+type benchConfig struct {
+	Sizes    []int `json:"sizes_bytes"`
+	Assoc    int   `json:"assoc"`
+	Accesses int   `json:"accesses"`
+	Warmup   int   `json:"warmup"`
+}
+
+type benchSide struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchReps is the recorder's best-of count per pipeline.
+const benchReps = 3
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func side(r testing.BenchmarkResult) benchSide {
+	return benchSide{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func cmdBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonFile := fs.String("json", "", "also record the measurements as JSON to `FILE`")
+	accesses := fs.Int("accesses", 0, "override the benchmark's access count (warmup scales along)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bc := mattson.QuickFig1Bench()
+	if *accesses > 0 {
+		bc.Warmup = int(int64(bc.Warmup) * int64(*accesses) / int64(bc.Accesses))
+		bc.Accesses = *accesses
+	}
+	master, err := bc.MasterTrace()
+	if err != nil {
+		return err
+	}
+	stream := trace.NewReplayer(master)
+	// One untimed shakedown of each pipeline: surfaces errors before the
+	// measured runs (testing.Benchmark has no error channel) and takes the
+	// cold-start effects out of the first timed iteration.
+	if _, err := bc.RunBrute(stream); err != nil {
+		return err
+	}
+	if _, err := bc.RunMattson(stream); err != nil {
+		return err
+	}
+	bruteFn := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.RunBrute(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	fastFn := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.RunMattson(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Interleaved best-of-N: scheduler and frequency noise on a shared
+	// machine only ever slows a run down, so the minimum ns/op over
+	// repetitions is the robust estimator (what benchstat calls the
+	// distribution floor), and alternating the two pipelines keeps slow
+	// machine phases from landing entirely on one side. The GC between
+	// runs stops one pipeline's heap churn from being billed to the next.
+	var brute, fast testing.BenchmarkResult
+	for rep := 0; rep < benchReps; rep++ {
+		runtime.GC()
+		if r := testing.Benchmark(bruteFn); rep == 0 || nsPerOp(r) < nsPerOp(brute) {
+			brute = r
+		}
+		runtime.GC()
+		if r := testing.Benchmark(fastFn); rep == 0 || nsPerOp(r) < nsPerOp(fast) {
+			fast = r
+		}
+	}
+	res := benchResult{
+		Name:   "misscurve",
+		BestOf: benchReps,
+		Config: benchConfig{
+			Sizes:    bc.Sizes,
+			Assoc:    bc.Base.Assoc,
+			Accesses: bc.Accesses,
+			Warmup:   bc.Warmup,
+		},
+		Brute:   side(brute),
+		Mattson: side(fast),
+	}
+	if res.Mattson.NsPerOp > 0 {
+		res.Speedup = res.Brute.NsPerOp / res.Mattson.NsPerOp
+	}
+	if res.Mattson.BytesPerOp > 0 {
+		res.AllocRed = float64(res.Brute.BytesPerOp) / float64(res.Mattson.BytesPerOp)
+	}
+	fmt.Fprintf(out, "quick Fig 1 miss-curve sweep: %d sizes x %d accesses (%d warmup)\n",
+		len(bc.Sizes), bc.Accesses, bc.Warmup)
+	fmt.Fprintf(out, "  brute    : %12.0f ns/op  %10d B/op  %4d allocs/op  (%d iters)\n",
+		res.Brute.NsPerOp, res.Brute.BytesPerOp, res.Brute.AllocsPerOp, res.Brute.Iterations)
+	fmt.Fprintf(out, "  mattson  : %12.0f ns/op  %10d B/op  %4d allocs/op  (%d iters)\n",
+		res.Mattson.NsPerOp, res.Mattson.BytesPerOp, res.Mattson.AllocsPerOp, res.Mattson.Iterations)
+	fmt.Fprintf(out, "  speedup  : %.2fx wall-clock, %.1fx allocated bytes\n", res.Speedup, res.AllocRed)
+	if *jsonFile != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  recorded : %s\n", *jsonFile)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
 //	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
+//	bandwall bench [-json FILE] [-accesses N]
 //
 // Technique SPECs look like "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4"; see
 // bandwall.ParseStack for the grammar.
@@ -56,6 +57,8 @@ func run(args []string, out io.Writer) error {
 		return cmdReport(args[1:], out)
 	case "selftest":
 		return cmdSelftest(out)
+	case "bench":
+		return cmdBench(args[1:], out)
 	case "fit":
 		return cmdFit(args[1:], out)
 	case "help", "-h", "--help":
@@ -78,6 +81,7 @@ subcommands:
   trace     trace files:        trace gen|stats|sim (see trace -h)
   report    run everything and emit a Markdown report
   selftest  verify every pinned paper number in seconds
+  bench     time brute-force vs single-pass miss-curve pipelines: bench [-json FILE] [-accesses N]
   fit       fit α to a miss-curve CSV and project core scaling
 
 profiling (run, report): -cpuprofile FILE  -memprofile FILE  -trace FILE

@@ -3,6 +3,7 @@ package cachesim
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,18 @@ func benchCache(b *testing.B, cfg Config) {
 }
 
 func BenchmarkAccessLRU8Way(b *testing.B) {
+	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true})
+}
+
+// BenchmarkAccessObsEnabled is the same workload as BenchmarkAccessLRU8Way
+// but with metrics collection live. Access accumulates into the local Stats
+// struct only and deltas reach the registry via per-batch FlushObs, so this
+// should track the disabled-path number — the former two atomic increments
+// per access are gone from the loop.
+func BenchmarkAccessObsEnabled(b *testing.B) {
+	prev := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
 	benchCache(b, Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Policy: LRU, WriteBack: true, WriteAllocate: true})
 }
 

@@ -29,6 +29,7 @@ type Cache struct {
 	tick       uint64
 	rng        uint64 // xorshift state for Random policy
 	stats      Stats
+	flushed    Stats // portion of stats already published via FlushObs
 	obs        cacheObs
 }
 
@@ -73,8 +74,36 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters without disturbing cache contents —
-// used to discard warmup effects.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// used to discard warmup effects. Any not-yet-published counter deltas are
+// flushed to the obs registry first, so registry totals still include
+// warmup work.
+func (c *Cache) ResetStats() {
+	c.FlushObs()
+	c.stats = Stats{}
+	c.flushed = Stats{}
+}
+
+// FlushObs publishes the counter deltas accumulated since the last flush
+// (or reset) to the process-default obs registry. Access itself touches
+// only the local Stats struct; batch drivers (RunTrace, hierarchies, or
+// any manual replay loop) call FlushObs once per batch, keeping the
+// per-access cost of enabled metrics to zero. No-op, with no allocations,
+// when collection is disabled.
+func (c *Cache) FlushObs() {
+	if c.obs.accesses == nil {
+		return
+	}
+	d := c.stats
+	f := c.flushed
+	c.obs.add(Stats{
+		Accesses:   d.Accesses - f.Accesses,
+		Hits:       d.Hits - f.Hits,
+		Misses:     d.Misses - f.Misses,
+		Evictions:  d.Evictions - f.Evictions,
+		WriteBacks: d.WriteBacks - f.WriteBacks,
+	})
+	c.flushed = d
+}
 
 // Result describes the outcome of one access.
 type Result struct {
@@ -108,7 +137,6 @@ func (c *Cache) sectorOf(addr uint64) int {
 // Access runs one reference through the cache.
 func (c *Cache) Access(a trace.Access) Result {
 	c.stats.Accesses++
-	c.obs.accesses.Inc()
 	c.tick++
 	lineAddr := a.Addr >> c.lineShift
 	setIdx := lineAddr & c.setMask
@@ -126,7 +154,6 @@ func (c *Cache) Access(a trace.Access) Result {
 		if c.sectorsPer > 1 && w.sectors&sectorBit == 0 {
 			// Sector miss on a present line: fetch just the sector.
 			c.stats.Misses++
-			c.obs.misses.Inc()
 			w.sectors |= sectorBit
 			c.touch(setIdx, i)
 			res := Result{FillBytes: c.cfg.SectorBytes}
@@ -136,7 +163,6 @@ func (c *Cache) Access(a trace.Access) Result {
 		}
 		// Hit.
 		c.stats.Hits++
-		c.obs.hits.Inc()
 		c.touch(setIdx, i)
 		var res Result
 		res.Hit = true
@@ -146,7 +172,6 @@ func (c *Cache) Access(a trace.Access) Result {
 
 	// Miss.
 	c.stats.Misses++
-	c.obs.misses.Inc()
 	if a.Write && !c.cfg.WriteAllocate && !c.cfg.WriteBack {
 		// Write-through no-allocate: the store goes straight past.
 		res := Result{WriteBackBytes: c.storeBytes()}
@@ -159,11 +184,9 @@ func (c *Cache) Access(a trace.Access) Result {
 	if w.valid {
 		res.Evicted = true
 		c.stats.Evictions++
-		c.obs.evictions.Inc()
 		if w.dirty {
 			res.WroteBack = true
 			c.stats.WriteBacks++
-			c.obs.writeBacks.Inc()
 			res.WriteBackBytes += c.dirtyBytes(w)
 			c.stats.WriteBackBytes += uint64(c.dirtyBytes(w))
 		}
@@ -322,7 +345,9 @@ func (c *Cache) Contains(addr uint64) bool {
 }
 
 // RunTrace replays accesses through the cache, resetting statistics after
-// the first `warmup` accesses, and returns the post-warmup stats.
+// the first `warmup` accesses, and returns the post-warmup stats. Obs
+// counter deltas are flushed once per batch (at the warmup reset and at
+// the end), never inside the access loop.
 func RunTrace(c *Cache, accesses []trace.Access, warmup int) Stats {
 	if warmup > len(accesses) {
 		warmup = len(accesses)
@@ -334,5 +359,6 @@ func RunTrace(c *Cache, accesses []trace.Access, warmup int) Stats {
 	for _, a := range accesses[warmup:] {
 		c.Access(a)
 	}
+	c.FlushObs()
 	return c.Stats()
 }

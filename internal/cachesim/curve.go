@@ -63,8 +63,12 @@ func MissCurve(accesses []trace.Access, base Config, sizes []int, warmup int) ([
 }
 
 // PowerOfTwoSizes returns cache sizes from lo to hi inclusive, doubling —
-// the geometric x-axis of Fig 1.
+// the geometric x-axis of Fig 1. A non-positive lo yields nil (doubling
+// from it would never terminate); so does lo > hi.
 func PowerOfTwoSizes(lo, hi int) []int {
+	if lo <= 0 {
+		return nil
+	}
 	var out []int
 	for s := lo; s <= hi; s *= 2 {
 		out = append(out, s)

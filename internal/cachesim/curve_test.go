@@ -23,6 +23,14 @@ func TestPowerOfTwoSizes(t *testing.T) {
 	if got := PowerOfTwoSizes(1024, 1024); len(got) != 1 {
 		t.Errorf("single size: %v", got)
 	}
+	if got := PowerOfTwoSizes(8192, 1024); got != nil {
+		t.Errorf("lo > hi: %v, want nil", got)
+	}
+	for _, lo := range []int{0, -64} {
+		if got := PowerOfTwoSizes(lo, 1024); got != nil {
+			t.Errorf("lo = %d: %v, want nil", lo, got)
+		}
+	}
 }
 
 func TestMissCurveErrors(t *testing.T) {

@@ -67,3 +67,10 @@ func (h *Hierarchy) ResetStats() {
 	h.l1.ResetStats()
 	h.l2.ResetStats()
 }
+
+// FlushObs publishes both levels' pending obs counter deltas — call once
+// per replay batch, mirroring RunTrace's flush discipline.
+func (h *Hierarchy) FlushObs() {
+	h.l1.FlushObs()
+	h.l2.FlushObs()
+}

@@ -65,6 +65,14 @@ func (m *MultiLevel) MemoryTrafficBytes() uint64 {
 	return m.levels[len(m.levels)-1].Stats().TrafficBytes()
 }
 
+// FlushObs publishes every level's pending obs counter deltas — call once
+// per replay batch, mirroring RunTrace's flush discipline.
+func (m *MultiLevel) FlushObs() {
+	for _, c := range m.levels {
+		c.FlushObs()
+	}
+}
+
 // ResetStats clears every level's counters.
 func (m *MultiLevel) ResetStats() {
 	for _, c := range m.levels {

@@ -13,9 +13,12 @@ const (
 	obsWriteBacks = "cachesim.writebacks"
 )
 
-// cacheObs holds the counters a Cache increments on its access path. All
-// fields are nil when metrics collection is disabled, making every
-// increment a no-op (see internal/obs).
+// cacheObs holds the counters a Cache flushes batch deltas into. All
+// fields are nil when metrics collection is disabled, making every flush a
+// single nil check (see internal/obs). The per-access hot path never
+// touches these: Cache.Access accumulates into its local Stats only, and
+// FlushObs publishes the deltas once per RunTrace batch — hoisting what
+// used to be two atomic increments per access out of the hottest loop.
 type cacheObs struct {
 	accesses   *obs.Counter
 	hits       *obs.Counter
@@ -25,8 +28,7 @@ type cacheObs struct {
 }
 
 // newCacheObs fetches the package's counters from the process-default
-// registry once, at cache construction time, keeping the per-access cost
-// to a nil check when disabled and an atomic add when enabled.
+// registry once, at cache construction time.
 func newCacheObs() cacheObs {
 	reg := obs.Default()
 	if reg == nil {
@@ -39,6 +41,28 @@ func newCacheObs() cacheObs {
 		evictions:  reg.Counter(obsEvictions),
 		writeBacks: reg.Counter(obsWriteBacks),
 	}
+}
+
+// add publishes one batch's counter deltas. No-op when disabled.
+func (o *cacheObs) add(d Stats) {
+	if o.accesses == nil {
+		return
+	}
+	o.accesses.Add(d.Accesses)
+	o.hits.Add(d.Hits)
+	o.misses.Add(d.Misses)
+	o.evictions.Add(d.Evictions)
+	o.writeBacks.Add(d.WriteBacks)
+}
+
+// PublishStats adds one batch's Stats deltas to the package's counters in
+// the process-default registry. Batch simulators that accumulate Stats
+// locally instead of driving a Cache per access — the mattson single-pass
+// profiler, notably — use this so CLI metric dumps see their simulated
+// work under the same cachesim.* names. No-op when collection is disabled.
+func PublishStats(d Stats) {
+	o := newCacheObs()
+	o.add(d)
 }
 
 // RegisterObs pre-creates this package's counters in reg so metric dumps

@@ -62,7 +62,7 @@ func runAblPolicy(o Options) (*Result, error) {
 		{cachesim.LRU, 0}, // fully associative
 	}
 	for _, cfg := range configs {
-		pts, err := cachesim.MissCurve(tr, cachesim.Config{
+		pts, err := missCurveTrace(o, tr, cachesim.Config{
 			LineBytes: 64, Assoc: cfg.assoc, Policy: cfg.policy,
 			WriteBack: true, WriteAllocate: true,
 		}, sizes, warmup)

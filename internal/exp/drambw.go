@@ -54,6 +54,9 @@ func runExtDRAMBandwidth(o Options) (*Result, error) {
 		Headers: []string{"access stream", "row hit rate (open)", "open-page", "closed-page", "FR-FCFS (win=16)"},
 	}
 	values := map[string]float64{}
+	// One trace buffer reused across every (stream, policy) replay: the
+	// multi-MB slice is allocated once, not nine times.
+	buf := make([]trace.Access, n)
 	for _, s := range streams {
 		row := []any{s.name}
 		for _, cfg := range []dram.Config{cfgOpen, cfgClosed} {
@@ -65,7 +68,7 @@ func runExtDRAMBandwidth(o Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			st := dram.Replay(ctrl, trace.Collect(g, n))
+			st := dram.Replay(ctrl, trace.CollectInto(g, buf))
 			frac := st.EffectiveBytesPerCycle() / ctrl.PeakBytesPerCycle()
 			if cfg.Policy == dram.OpenPage {
 				row = append(row, fmt.Sprintf("%.0f%%", 100*st.RowHitRate()))
@@ -82,7 +85,7 @@ func runExtDRAMBandwidth(o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := dram.ReplayFRFCFS(cfgOpen, trace.Collect(g, n), 16)
+		st, err := dram.ReplayFRFCFS(cfgOpen, trace.CollectInto(g, buf), 16)
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,8 @@ func runExtDRAMLat(o Options) (*Result, error) {
 		{"medium (4MB)", 1 << 16},
 		{"large (32MB)", 1 << 19},
 	}
+	// One trace buffer reused across every footprint x L2 replay.
+	buf := make([]trace.Access, accesses)
 	for _, fp := range footprints {
 		amat := map[string]float64{}
 		for name, l2cfg := range map[string]cachesim.Config{"sram": sramL2, "dram": dramL2} {
@@ -68,7 +70,7 @@ func runExtDRAMLat(o Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			tr := trace.Collect(g, accesses)
+			tr := trace.CollectInto(g, buf)
 			for _, a := range tr[:warmup] {
 				h.Access(a)
 			}

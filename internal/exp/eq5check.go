@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/render"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -66,12 +65,10 @@ func runAblEq5(o Options) (*Result, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			c, err := cachesim.New(cfg)
+			st, err := runStats(o, g, cfg, perCoreAccesses/warmupFrac, perCoreAccesses)
 			if err != nil {
 				return 0, 0, err
 			}
-			tr := trace.Collect(g, perCoreAccesses)
-			st := cachesim.RunTrace(c, tr, perCoreAccesses/warmupFrac)
 			total += st.TrafficBytes()
 		}
 		return total, cfg.SizeBytes, nil

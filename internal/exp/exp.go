@@ -22,6 +22,12 @@ type Options struct {
 	Quick bool
 	// Seed offsets all workload seeds for sensitivity checks.
 	Seed int64
+	// Brute forces miss-curve sweeps through the brute-force per-size
+	// simulator instead of the single-pass mattson profiler. Results are
+	// identical for profiler-eligible configurations (that equivalence is
+	// pinned by tests); the flag exists as an escape hatch and as the
+	// cross-validation baseline.
+	Brute bool
 }
 
 // Defaults returns full-fidelity options.

@@ -7,7 +7,6 @@ import (
 	"repro/internal/fit"
 	"repro/internal/render"
 	"repro/internal/suite"
-	"repro/internal/trace"
 )
 
 func fig01Exp() Experiment {
@@ -54,8 +53,7 @@ func runFig01(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", wl.Name, err)
 		}
-		tr := trace.Collect(gen, accesses)
-		pts, err := cachesim.MissCurve(tr, base, sizes, warmup)
+		pts, err := missCurve(o, gen, base, sizes, warmup, accesses)
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/compress"
 	"repro/internal/memsys"
 	"repro/internal/render"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -41,11 +40,10 @@ func runWriteback(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := trace.Collect(g, accesses)
 	sizes := cachesim.PowerOfTwoSizes(32*1024, maxSize)
-	pts, err := cachesim.MissCurve(tr, cachesim.Config{
+	pts, err := missCurve(o, g, cachesim.Config{
 		LineBytes: 64, Assoc: 8, Policy: cachesim.LRU, WriteBack: true, WriteAllocate: true,
-	}, sizes, warmup)
+	}, sizes, warmup, accesses)
 	if err != nil {
 		return nil, err
 	}

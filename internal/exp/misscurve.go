@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/mattson"
+	"repro/internal/trace"
+)
+
+// The simulation-backed experiments produce miss curves through these
+// dispatch helpers: the single-pass mattson profiler by default (one
+// streaming pass over the workload, no trace materialization), or the
+// brute-force per-size simulator when Options.Brute is set — the escape
+// hatch that also serves as the cross-validation baseline in tests.
+
+// missCurve sweeps sizes over n accesses drawn from gen (first warmup
+// excluded), streaming through the mattson profiler unless o.Brute forces
+// the materialize-and-simulate path.
+func missCurve(o Options, gen trace.Generator, base cachesim.Config, sizes []int, warmup, n int) ([]cachesim.CurvePoint, error) {
+	if o.Brute {
+		return cachesim.MissCurve(trace.Collect(gen, n), base, sizes, warmup)
+	}
+	return mattson.MissCurveFast(gen, base, sizes, warmup, n)
+}
+
+// missCurveTrace is the variant for drivers that replay one materialized
+// trace across several configurations: eligible configs stream the slice
+// through the profiler via trace.Replay (no per-size replay of the
+// simulator), the rest go to the brute simulator directly — avoiding the
+// pointless re-materialization MissCurveFast's internal fallback would do.
+func missCurveTrace(o Options, tr []trace.Access, base cachesim.Config, sizes []int, warmup int) ([]cachesim.CurvePoint, error) {
+	if o.Brute || !mattson.Eligible(base) {
+		return cachesim.MissCurve(tr, base, sizes, warmup)
+	}
+	return mattson.MissCurveFast(trace.NewReplayer(tr), base, sizes, warmup, len(tr))
+}
+
+// runStats measures one configuration's post-warmup Stats over n accesses
+// from gen — the single-size analogue of missCurve, used where a driver
+// needs one cache's full traffic accounting rather than a curve.
+func runStats(o Options, gen trace.Generator, cfg cachesim.Config, warmup, n int) (cachesim.Stats, error) {
+	if !o.Brute && mattson.Eligible(cfg) && cfg.Assoc != 0 {
+		pts, err := mattson.MissCurveFast(gen, cfg, []int{cfg.SizeBytes}, warmup, n)
+		if err != nil {
+			return cachesim.Stats{}, err
+		}
+		return pts[0].Stats, nil
+	}
+	c, err := cachesim.New(cfg)
+	if err != nil {
+		return cachesim.Stats{}, err
+	}
+	return cachesim.RunTrace(c, trace.Collect(gen, n), warmup), nil
+}

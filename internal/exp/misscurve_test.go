@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFig01AlphaUnchangedByProfiler pins the acceptance criterion that the
+// single-pass profiler changes nothing about fig01's headline numbers: the
+// quick run with the default mattson path and with Options.Brute must
+// produce bit-identical fitted α values (both paths see the identical
+// deterministic stream, and the profiler's per-set LRU model is exact).
+func TestFig01AlphaUnchangedByProfiler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick fig01 sweep")
+	}
+	fast, err := runFig01(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := runFig01(Options{Quick: true, Brute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Values) != len(brute.Values) {
+		t.Fatalf("value sets differ: %d vs %d", len(fast.Values), len(brute.Values))
+	}
+	checked := 0
+	for k, bv := range brute.Values {
+		fv, ok := fast.Values[k]
+		if !ok {
+			t.Errorf("mattson run missing value %q", k)
+			continue
+		}
+		if strings.HasPrefix(k, "alpha:") {
+			checked++
+		}
+		if fv != bv && !(math.IsNaN(fv) && math.IsNaN(bv)) {
+			t.Errorf("%s: mattson %v != brute %v", k, fv, bv)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fitted α values compared")
+	}
+}

@@ -1,0 +1,208 @@
+package mattson
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cachesim"
+	"repro/internal/trace"
+)
+
+// Eligible reports whether MissCurveFast can profile base exactly with the
+// single-pass stack machinery. The stack algorithm models true-LRU
+// replacement with whole-line write-back fills, so it covers LRU,
+// non-sectored, write-back configurations — fully associative (Assoc 0,
+// reuse-distance histogram) or set-associative up to 64 ways (per-set
+// recency arrays; the dirty state packs into one word per set). Everything
+// else (FIFO/Random/PLRU, sectored fills, write-through stores) falls back
+// to the brute-force simulator.
+func Eligible(base cachesim.Config) bool {
+	if base.Policy != cachesim.LRU || base.SectorBytes != 0 || !base.WriteBack {
+		return false
+	}
+	if base.LineBytes < 4 {
+		// The per-set words pack the dirty flag into bit 63 and use
+		// all-ones as the invalid sentinel, so tags must fit in 62 bits;
+		// LineBytes ≥ 4 guarantees lineShift ≥ 2. (Narrower lines never
+		// occur in practice.)
+		return false
+	}
+	return base.Assoc >= 0 && base.Assoc <= 64
+}
+
+// MissCurveFast is the single-pass replacement for cachesim.MissCurve: it
+// draws n accesses (the first warmup excluded from statistics) from gen —
+// streaming, never materializing the trace — and produces the miss curve
+// for every size in one profiling pass. For Eligible configurations the
+// returned points are exact (identical Stats to the brute simulator for
+// set-associative sweeps; identical miss counts for fully-associative
+// ones, where write-back/eviction counters are left zero because they are
+// not derivable size-independently in one pass). Ineligible configurations
+// transparently fall back to materializing the stream and running
+// cachesim.MissCurve. Simulated work is published to the obs registry
+// under the usual cachesim.* counter names either way.
+func MissCurveFast(gen trace.Generator, base cachesim.Config, sizes []int, warmup, n int) ([]cachesim.CurvePoint, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("mattson: no sizes to sweep")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mattson: negative access count %d", n)
+	}
+	if warmup < 0 {
+		warmup = 0
+	}
+	if warmup > n {
+		warmup = n
+	}
+	cfgs := make([]cachesim.Config, len(sizes))
+	for i, sz := range sizes {
+		cfg := base
+		cfg.SizeBytes = sz
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("mattson: size %d: %w", sz, err)
+		}
+		cfgs[i] = cfg
+	}
+	if !Eligible(base) {
+		// The general simulator needs a materialized trace; it publishes
+		// its own obs counters via RunTrace's flush.
+		return cachesim.MissCurve(trace.Collect(gen, n), base, sizes, warmup)
+	}
+	if base.Assoc == 0 {
+		return faCurve(gen, cfgs, warmup, n)
+	}
+	return setCurve(gen, cfgs, warmup, n)
+}
+
+// faCurve profiles fully-associative sizes via one reuse-distance
+// histogram: a single stack pass, then each size's miss count is a suffix
+// sum.
+func faCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
+	lineShift := uint(bits.TrailingZeros(uint(cfgs[0].LineBytes)))
+	maxLines := 0
+	for _, cfg := range cfgs {
+		if l := cfg.Lines(); l > maxLines {
+			maxLines = l
+		}
+	}
+	p := NewProfiler(maxLines, n)
+	for i := 0; i < warmup; i++ {
+		p.Skip(gen.Next().Addr >> lineShift)
+	}
+	for i := warmup; i < n; i++ {
+		p.Record(gen.Next().Addr >> lineShift)
+	}
+	hist := p.Hist()
+	out := make([]cachesim.CurvePoint, len(cfgs))
+	for i, cfg := range cfgs {
+		misses := hist.Misses(cfg.Lines())
+		st := cachesim.Stats{
+			Accesses:  hist.Total(),
+			Hits:      hist.Total() - misses,
+			Misses:    misses,
+			FillBytes: misses * uint64(cfg.LineBytes),
+		}
+		cachesim.PublishStats(st)
+		out[i] = cachesim.CurvePoint{SizeBytes: cfg.SizeBytes, Stats: st}
+	}
+	return out, nil
+}
+
+// chunkAccesses is the streaming batch size: one buffer refill feeds every
+// profiler while the chunk is hot in cache.
+const chunkAccesses = 4096
+
+// setCurve profiles set-associative sizes by streaming chunks of the
+// access stream through one lean per-set LRU model per size. The chunk is
+// packed once (lineAddr<<1|write words) and every profiler consumes the
+// packed form. Profilers are ordered largest-first and, for 8-way sweeps,
+// grouped into quintets driven by the fused kernel (runFused5), which
+// turns set-refinement inclusion — a miss in a group's largest cache
+// implies a miss in its four smaller ones — into an in-register skip of
+// the followers' lookups. Leftover sizes run the single-profiler packed
+// loop. Batcher generators (trace replays) hand chunks out as zero-copy
+// sub-slices.
+func setCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
+	profs := make([]*SetProfiler, len(cfgs))
+	for i, cfg := range cfgs {
+		p, err := NewSetProfiler(cfg)
+		if err != nil {
+			return nil, err
+		}
+		profs[i] = p
+	}
+	// Largest-first order. Validate forces power-of-two set counts, so any
+	// two same-associativity profilers in this order are nested (equal
+	// sizes included) and every prefix element includes every later one.
+	order := make([]int, len(profs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cfgs[order[a]].SizeBytes > cfgs[order[b]].SizeBytes
+	})
+	var fused [][5]*SetProfiler
+	var single []*SetProfiler
+	i := 0
+	if profs[0].assoc == 8 {
+		for ; i+5 <= len(order); i += 5 {
+			var g [5]*SetProfiler
+			for j := range g {
+				g[j] = profs[order[i+j]]
+			}
+			fused = append(fused, g)
+		}
+	}
+	for ; i < len(order); i++ {
+		single = append(single, profs[order[i]])
+	}
+	packable := profs[0].assoc <= 8
+	var packedBuf []uint64
+	if packable && len(single) > 0 {
+		packedBuf = make([]uint64, 0, chunkAccesses)
+	}
+	batcher, _ := gen.(trace.Batcher)
+	var buf []trace.Access
+	if batcher == nil {
+		buf = make([]trace.Access, chunkAccesses)
+	}
+	feed := func(count int) {
+		for count > 0 {
+			var batch []trace.Access
+			if batcher != nil {
+				batch = batcher.Batch(min(count, chunkAccesses))
+			} else {
+				batch = trace.CollectInto(gen, buf[:min(count, chunkAccesses)])
+			}
+			for _, g := range fused {
+				runFused5(batch, profs[0].lineShift, g[0], g[1], g[2], g[3], g[4])
+			}
+			if len(single) > 0 {
+				if packable {
+					packed := packInto(packedBuf, batch, profs[0].lineShift)
+					for _, p := range single {
+						p.runPacked(packed)
+					}
+				} else {
+					for _, p := range single {
+						p.runShift(batch)
+					}
+				}
+			}
+			count -= len(batch)
+		}
+	}
+	feed(warmup)
+	for _, p := range profs {
+		p.ResetStats()
+	}
+	feed(n - warmup)
+	out := make([]cachesim.CurvePoint, len(cfgs))
+	for i, p := range profs {
+		st := p.Stats()
+		cachesim.PublishStats(st)
+		out[i] = cachesim.CurvePoint{SizeBytes: cfgs[i].SizeBytes, Stats: st}
+	}
+	return out, nil
+}

@@ -136,6 +136,29 @@ func (l *List) MoveToFront(i int) uint64 {
 	return v
 }
 
+// RankOfDesc returns the rank (0-based position) of value v, assuming the
+// list contents are sorted in strictly descending order, and whether v is
+// present. It runs in O(log n) by binary-searching the treap with subtree
+// sizes. The caller is responsible for the ordering invariant — it holds
+// naturally for recency stacks that PushFront monotonically increasing
+// timestamps (the internal/mattson reuse-distance profiler).
+func (l *List) RankOfDesc(v uint64) (int, bool) {
+	n := l.root
+	rank := 0
+	for n != nil {
+		switch {
+		case v == n.val:
+			return rank + size(n.left), true
+		case v > n.val:
+			n = n.left
+		default:
+			rank += size(n.left) + 1
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
 // Slice returns the list contents in rank order (for tests and debugging).
 func (l *List) Slice() []uint64 {
 	out := make([]uint64, 0, l.Len())

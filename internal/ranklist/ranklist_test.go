@@ -192,3 +192,58 @@ func BenchmarkMoveToFrontDeep(b *testing.B) {
 		l.MoveToFront(rng.Intn(n))
 	}
 }
+
+func TestRankOfDesc(t *testing.T) {
+	l := New(11)
+	// PushFront of increasing timestamps leaves the list strictly
+	// descending — the profiler's recency-stack invariant.
+	for v := uint64(0); v < 20; v += 2 {
+		l.PushFront(v)
+	}
+	for v := uint64(0); v < 20; v += 2 {
+		rank, ok := l.RankOfDesc(v)
+		if !ok {
+			t.Fatalf("RankOfDesc(%d): not found", v)
+		}
+		if want := int(18-v) / 2; rank != want {
+			t.Errorf("RankOfDesc(%d) = %d, want %d", v, rank, want)
+		}
+	}
+	// Absent values (odd, below, above) report not-present.
+	for _, v := range []uint64{1, 7, 19, 21, 1 << 40} {
+		if rank, ok := l.RankOfDesc(v); ok {
+			t.Errorf("RankOfDesc(%d) = %d, want absent", v, rank)
+		}
+	}
+}
+
+func TestRankOfDescEmpty(t *testing.T) {
+	l := New(3)
+	if _, ok := l.RankOfDesc(5); ok {
+		t.Error("RankOfDesc on empty list reported present")
+	}
+}
+
+func TestRankOfDescAgainstSlice(t *testing.T) {
+	l := New(42)
+	rng := rand.New(rand.NewSource(9))
+	var ts uint64
+	present := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		ts += 1 + uint64(rng.Intn(3))
+		l.PushFront(ts)
+		present[ts] = true
+		if l.Len() > 64 {
+			present[l.RemoveAt(l.Len()-1)] = false
+		}
+		model := l.Slice()
+		probe := ts - uint64(rng.Intn(int(ts)))
+		rank, ok := l.RankOfDesc(probe)
+		if ok != present[probe] {
+			t.Fatalf("step %d: RankOfDesc(%d) present=%v, want %v", i, probe, ok, present[probe])
+		}
+		if ok && model[rank] != probe {
+			t.Fatalf("step %d: rank %d holds %d, want %d", i, rank, model[rank], probe)
+		}
+	}
+}

@@ -126,3 +126,22 @@ func (r *Replayer) Next() Access {
 
 // Len returns the length of the underlying trace.
 func (r *Replayer) Len() int { return len(r.accesses) }
+
+// Batch implements Batcher: it returns a sub-slice of the recorded trace
+// without copying, up to the loop boundary. The slice is only valid until
+// the replayer is advanced again.
+func (r *Replayer) Batch(max int) []Access {
+	if max <= 0 {
+		return nil
+	}
+	end := r.pos + max
+	if end > len(r.accesses) {
+		end = len(r.accesses)
+	}
+	out := r.accesses[r.pos:end]
+	r.pos = end
+	if r.pos == len(r.accesses) {
+		r.pos = 0
+	}
+	return out
+}

@@ -38,13 +38,27 @@ type Generator interface {
 	Next() Access
 }
 
-// Collect drains n accesses from g into a slice.
+// Collect drains n accesses from g into a freshly allocated slice.
 func Collect(g Generator, n int) []Access {
-	out := make([]Access, n)
-	for i := range out {
-		out[i] = g.Next()
+	return CollectInto(g, make([]Access, n))
+}
+
+// CollectInto fills buf from g and returns it — the buffer-reusing variant
+// of Collect for drivers that materialize many same-length traces (allocate
+// the buffer once, refill per workload).
+func CollectInto(g Generator, buf []Access) []Access {
+	for i := range buf {
+		buf[i] = g.Next()
 	}
-	return out
+	return buf
+}
+
+// Batcher is implemented by generators that can expose their upcoming
+// accesses as a ready-made slice, letting streaming consumers skip the
+// per-access interface call and copy. Batch returns between 1 and max
+// accesses; the slice is only valid until the generator is advanced.
+type Batcher interface {
+	Batch(max int) []Access
 }
 
 // Stats summarizes an access stream.
@@ -68,15 +82,36 @@ func (s Stats) WriteFraction() float64 {
 // FootprintBytes returns the footprint in bytes assuming 64-byte lines.
 func (s Stats) FootprintBytes() uint64 { return s.Lines * 64 }
 
-// Measure computes Stats over a slice of accesses.
+// Measure computes Stats over a slice of accesses. Repeated callers should
+// hold a Measurer and call its Measure method instead, which reuses the
+// footprint scratch state across calls.
 func Measure(as []Access) Stats {
+	var m Measurer
+	return m.Measure(as)
+}
+
+// Measurer computes Stats over successive access slices while reusing its
+// internal scratch state, so measuring in a loop performs no per-call map
+// allocations after the first. The zero value is ready to use; a Measurer
+// must not be used concurrently.
+type Measurer struct {
+	lines map[uint64]struct{}
+	tids  [256]bool
+}
+
+// Measure computes Stats over as, reusing m's scratch state.
+func (m *Measurer) Measure(as []Access) Stats {
 	var st Stats
 	if len(as) == 0 {
 		return st
 	}
+	if m.lines == nil {
+		m.lines = make(map[uint64]struct{}, 1024)
+	} else {
+		clear(m.lines)
+	}
+	clear(m.tids[:])
 	st.MinAddr = as[0].Addr
-	lines := make(map[uint64]struct{}, 1024)
-	tids := make(map[uint8]struct{}, 8)
 	for _, a := range as {
 		st.Accesses++
 		if a.Write {
@@ -88,10 +123,14 @@ func Measure(as []Access) Stats {
 		if a.Addr > st.MaxAddr {
 			st.MaxAddr = a.Addr
 		}
-		lines[a.Addr/64] = struct{}{}
-		tids[a.TID] = struct{}{}
+		m.lines[a.Addr/64] = struct{}{}
+		m.tids[a.TID] = true
 	}
-	st.Lines = uint64(len(lines))
-	st.Threads = len(tids)
+	st.Lines = uint64(len(m.lines))
+	for _, seen := range m.tids {
+		if seen {
+			st.Threads++
+		}
+	}
 	return st
 }

@@ -221,3 +221,81 @@ func TestReplayerPanicsOnEmpty(t *testing.T) {
 	}()
 	NewReplayer(nil)
 }
+
+func TestCollectInto(t *testing.T) {
+	g := &countingGen{}
+	buf := make([]Access, 4)
+	as := CollectInto(g, buf)
+	if &as[0] != &buf[0] {
+		t.Error("CollectInto did not fill the caller's buffer")
+	}
+	for i, a := range as {
+		if a.Addr != uint64(i+1)*64 {
+			t.Errorf("access %d = %v", i, a)
+		}
+	}
+	// Refilling the same buffer continues the stream with no new slice.
+	as = CollectInto(g, buf)
+	if as[0].Addr != 5*64 {
+		t.Errorf("refill starts at %d, want %d", as[0].Addr, 5*64)
+	}
+	if CollectInto(g, nil) != nil {
+		t.Error("CollectInto(g, nil) != nil")
+	}
+}
+
+func TestReplayerBatch(t *testing.T) {
+	as := []Access{{Addr: 64}, {Addr: 128}, {Addr: 192}}
+	r := NewReplayer(as)
+	b := r.Batch(2)
+	if len(b) != 2 || b[0].Addr != 64 || &b[0] != &as[0] {
+		t.Fatalf("first batch = %v (zero-copy: %v)", b, &b[0] == &as[0])
+	}
+	// A batch never crosses the loop boundary; the next one restarts.
+	b = r.Batch(5)
+	if len(b) != 1 || b[0].Addr != 192 {
+		t.Fatalf("tail batch = %v", b)
+	}
+	b = r.Batch(1)
+	if len(b) != 1 || b[0].Addr != 64 {
+		t.Fatalf("wrapped batch = %v", b)
+	}
+	// Batch and Next share the cursor.
+	if got := r.Next().Addr; got != 128 {
+		t.Fatalf("Next after Batch = %d, want 128", got)
+	}
+	if r.Batch(0) != nil || r.Batch(-1) != nil {
+		t.Error("non-positive max should return nil")
+	}
+}
+
+func TestMeasurerReuse(t *testing.T) {
+	var m Measurer
+	first := m.Measure([]Access{{Addr: 0}, {Addr: 64, TID: 1, Write: true}})
+	if first.Lines != 2 || first.Threads != 2 || first.Writes != 1 {
+		t.Fatalf("first = %+v", first)
+	}
+	// A second measurement must not see the first one's footprint or TIDs.
+	second := m.Measure([]Access{{Addr: 4096}})
+	if second.Lines != 1 || second.Threads != 1 || second.Writes != 0 {
+		t.Fatalf("second = %+v", second)
+	}
+	if second.MinAddr != 4096 || second.MaxAddr != 4096 {
+		t.Fatalf("second addr range [%d, %d]", second.MinAddr, second.MaxAddr)
+	}
+	if got := m.Measure(nil); got.Accesses != 0 {
+		t.Fatalf("empty = %+v", got)
+	}
+}
+
+func TestMeasurerMatchesMeasure(t *testing.T) {
+	g := &countingGen{}
+	as := Collect(g, 100)
+	as[10].Write = true
+	as[20].TID = 3
+	var m Measurer
+	m.Measure([]Access{{Addr: 1 << 40}}) // dirty the scratch state first
+	if got, want := m.Measure(as), Measure(as); got != want {
+		t.Fatalf("Measurer = %+v, Measure = %+v", got, want)
+	}
+}
