@@ -34,6 +34,8 @@
 package bandwall
 
 import (
+	"context"
+
 	"repro/internal/exp"
 	"repro/internal/power"
 	"repro/internal/scaling"
@@ -163,11 +165,18 @@ func Experiments() []ExperimentInfo {
 // RunExperiment executes one reproduction by id. quick trades simulation
 // fidelity for speed (model-exact figures are unaffected).
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
+	return RunExperimentCtx(context.Background(), id, quick)
+}
+
+// RunExperimentCtx is RunExperiment with cancellation: the context is
+// threaded into the driver's sweep loops, so Ctrl-C or a deadline aborts
+// the experiment at the next batch boundary.
+func RunExperimentCtx(ctx context.Context, id string, quick bool) (*ExperimentResult, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
-	return exp.RunOne(e, exp.Options{Quick: quick})
+	return exp.RunOne(ctx, e, exp.Options{Quick: quick})
 }
 
 // UnknownExperimentError reports a RunExperiment id miss.

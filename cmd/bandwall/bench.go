@@ -76,7 +76,10 @@ func cmdBench(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stream := trace.NewReplayer(master)
+	stream, err := trace.NewReplayer(master)
+	if err != nil {
+		return err
+	}
 	// One untimed shakedown of each pipeline: surfaces errors before the
 	// measured runs (testing.Benchmark has no error channel) and takes the
 	// cold-start effects out of the first timed iteration.

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bandwall list
-//	bandwall run [-quick] [-csv DIR] <experiment-id>... | all
+//	bandwall run [-quick] [-csv DIR] [-timeout D] [-retries N] [-checkpoint F] [-resume] <experiment-id>... | all
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
 //	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
@@ -13,38 +13,86 @@
 //
 // Technique SPECs look like "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4"; see
 // bandwall.ParseStack for the grammar.
+//
+// Exit codes: 0 success, 1 experiment or model failure, 2 usage error,
+// 130 interrupted (SIGINT/SIGTERM).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/bandwall"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/robust"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bandwall:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// usageError marks command-line mistakes so main can exit 2 instead of 1.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, a ...any) error {
+	return usageError{fmt.Errorf(format, a...)}
+}
+
+// exitCode maps an error from run to the process exit code: 2 for usage
+// mistakes, 130 (128+SIGINT) when the run was canceled, 1 otherwise.
+func exitCode(err error) int {
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &ue):
+		return 2
+	case robust.Classify(err) == robust.Canceled:
+		return 130
+	default:
+		return 1
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	// A fault plan in the environment installs a process-wide injector for
+	// the duration of the command — the deterministic chaos hook used by
+	// the fault-injection tests and CI job.
+	if spec := os.Getenv(robust.EnvFaults); spec != "" {
+		plan, err := robust.ParsePlan(spec)
+		if err != nil {
+			return usagef("%s: %v", robust.EnvFaults, err)
+		}
+		defer robust.SetInjector(robust.NewInjector(plan, 1))()
+	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (run 'bandwall help' for usage)")
+		return usagef("missing subcommand (run 'bandwall help' for usage)")
 	}
 	switch args[0] {
 	case "list":
 		return cmdList(out)
 	case "run":
-		return cmdRun(args[1:], out)
+		return cmdRun(ctx, args[1:], out)
 	case "cores":
 		return cmdCores(args[1:], out)
 	case "traffic":
@@ -54,7 +102,7 @@ func run(args []string, out io.Writer) error {
 	case "trace":
 		return cmdTrace(args[1:], out)
 	case "report":
-		return cmdReport(args[1:], out)
+		return cmdReport(ctx, args[1:], out)
 	case "selftest":
 		return cmdSelftest(out)
 	case "bench":
@@ -65,7 +113,7 @@ func run(args []string, out io.Writer) error {
 		usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (run 'bandwall help' for usage)", args[0])
+		return usagef("unknown subcommand %q (run 'bandwall help' for usage)", args[0])
 	}
 }
 
@@ -84,6 +132,7 @@ subcommands:
   bench     time brute-force vs single-pass miss-curve pipelines: bench [-json FILE] [-accesses N]
   fit       fit α to a miss-curve CSV and project core scaling
 
+robustness (run): -timeout D  -retries N  -backoff D  -checkpoint FILE  -resume
 profiling (run, report): -cpuprofile FILE  -memprofile FILE  -trace FILE
 `)
 }
@@ -100,21 +149,41 @@ func cmdList(out io.Writer) error {
 	return nil
 }
 
-func cmdRun(args []string, out io.Writer) error {
+func cmdRun(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduce simulation fidelity for speed")
 	csvDir := fs.String("csv", "", "also write each experiment's tables as CSV into DIR")
-	jobs := fs.Int("jobs", 4, "parallel workers for 'run all'")
+	jobs := fs.Int("jobs", 4, "parallel workers")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
 	metricsFile := fs.String("metrics", "", "write spans and counters as NDJSON to `FILE`")
 	timings := fs.Bool("timings", false, "print a per-experiment timing table after the results")
+	timeout := fs.Duration("timeout", 0, "per-attempt experiment timeout (0 = none)")
+	retries := fs.Int("retries", 2, "extra attempts for transiently failing experiments")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry delay, doubling per retry")
+	ckptPath := fs.String("checkpoint", "", "append per-experiment completion records to NDJSON `FILE`")
+	resume := fs.Bool("resume", false, "skip experiments recorded clean in the -checkpoint file")
 	pf := addProfileFlags(fs)
 	ids, err := parseInterleaved(fs, args)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	if len(ids) == 0 {
-		return fmt.Errorf("run: need experiment ids or 'all'")
+		return usagef("run: need experiment ids or 'all'")
+	}
+	if *resume && *ckptPath == "" {
+		return usagef("run: -resume requires -checkpoint FILE")
+	}
+	var exps []exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = exp.Registry
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(id)
+			if !ok {
+				return usagef("run: unknown experiment %q (try 'bandwall list')", id)
+			}
+			exps = append(exps, e)
+		}
 	}
 	var reg *obs.Registry
 	if *metricsFile != "" || *timings {
@@ -127,37 +196,52 @@ func cmdRun(args []string, out io.Writer) error {
 		return err
 	}
 	defer prof.stopQuiet()
-	opts := exp.Options{Quick: *quick}
-	var results []*exp.Result
-	if len(ids) == 1 && ids[0] == "all" {
-		var err error
-		results, err = exp.RunAllParallelProgress(opts, *jobs, runProgress())
+	var ckpt *robust.CheckpointLog
+	if *ckptPath != "" {
+		ckpt, err = robust.OpenCheckpoint(*ckptPath)
 		if err != nil {
 			return err
 		}
-	} else {
-		for _, id := range ids {
-			r, err := bandwall.RunExperiment(id, *quick)
-			if err != nil {
-				return err
-			}
-			results = append(results, r)
-		}
+		defer ckpt.Close()
 	}
+	cfg := exp.SuiteConfig{
+		Workers:    *jobs,
+		Attempts:   *retries + 1,
+		Backoff:    *backoff,
+		Timeout:    *timeout,
+		Checkpoint: ckpt,
+		Resume:     *resume,
+		OnDone:     suiteProgress(),
+	}
+	outcomes, runErr := exp.RunSuite(ctx, exps, exp.Options{Quick: *quick}, cfg)
 	if *asJSON {
+		var results []*exp.Result
+		for _, oc := range outcomes {
+			if oc.Result != nil {
+				results = append(results, oc.Result)
+			}
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			return err
 		}
 	} else {
-		for _, r := range results {
-			fmt.Fprintln(out, r.String())
+		for _, oc := range outcomes {
+			switch oc.Status {
+			case exp.StatusOK:
+				fmt.Fprintln(out, oc.Result.String())
+			case exp.StatusSkipped:
+				fmt.Fprintf(out, "%s: skipped (clean checkpoint entry)\n", oc.ID)
+			}
 		}
 	}
 	if *csvDir != "" {
-		for _, r := range results {
-			if err := writeCSV(*csvDir, r); err != nil {
+		for _, oc := range outcomes {
+			if oc.Result == nil {
+				continue
+			}
+			if err := writeCSV(*csvDir, oc.Result); err != nil {
 				return err
 			}
 		}
@@ -169,6 +253,10 @@ func cmdRun(args []string, out io.Writer) error {
 		if err := writeMetricsFile(*metricsFile, reg); err != nil {
 			return err
 		}
+	}
+	if runErr != nil {
+		fmt.Fprint(out, exp.SuiteSummary(outcomes))
+		return runErr
 	}
 	return prof.stop()
 }

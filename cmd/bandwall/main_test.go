@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -10,12 +11,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runCapture(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var buf bytes.Buffer
-	err := run(args, &buf)
+	err := run(context.Background(), args, &buf)
 	return buf.String(), err
 }
 
@@ -246,33 +248,61 @@ func TestFitSubcommand(t *testing.T) {
 	}
 }
 
-// TestExitCodes re-executes the test binary as the real CLI (via the
-// BANDWALL_BE_MAIN hook below) and asserts on process exit codes and
-// that a bad invocation produces exactly ONE error message on stderr —
-// the regression guarded against is usage() and main() both reporting.
-func TestExitCodes(t *testing.T) {
-	if os.Getenv("BANDWALL_BE_MAIN") == "1" {
-		os.Args = append([]string{"bandwall"}, strings.Split(os.Getenv("BANDWALL_ARGS"), " ")...)
-		if os.Getenv("BANDWALL_ARGS") == "" {
-			os.Args = []string{"bandwall"}
-		}
-		main()
-		os.Exit(0)
+// beMain re-executes the test binary as the real CLI when the
+// BANDWALL_BE_MAIN hook is set — the only way to observe real process
+// exit codes and signal handling.
+func beMain() {
+	if os.Getenv("BANDWALL_BE_MAIN") != "1" {
+		return
 	}
+	os.Args = append([]string{"bandwall"}, strings.Split(os.Getenv("BANDWALL_ARGS"), " ")...)
+	if os.Getenv("BANDWALL_ARGS") == "" {
+		os.Args = []string{"bandwall"}
+	}
+	main()
+	os.Exit(0)
+}
+
+func TestMain(m *testing.M) {
+	beMain()
+	os.Exit(m.Run())
+}
+
+// cliCommand builds a subprocess invocation of the CLI through the
+// BANDWALL_BE_MAIN hook.
+func cliCommand(args, faults string) (*exec.Cmd, *bytes.Buffer) {
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(), "BANDWALL_BE_MAIN=1", "BANDWALL_ARGS="+args, "BANDWALL_FAULTS="+faults)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	return cmd, &stderr
+}
+
+// TestExitCodes asserts the documented exit-code contract — 0 success,
+// 1 experiment failure, 2 usage error — and that a bad invocation
+// produces exactly ONE error message on stderr (the regression guarded
+// against is usage() and main() both reporting).
+func TestExitCodes(t *testing.T) {
 	cases := []struct {
 		args     string
+		faults   string
 		wantCode int
 		wantMsg  string // must appear exactly once on stderr (when set)
 	}{
-		{"bogus", 1, "unknown subcommand"},
-		{"", 1, "missing subcommand"},
-		{"help", 0, ""},
+		{"bogus", "", 2, "unknown subcommand"},
+		{"", "", 2, "missing subcommand"},
+		{"run", "", 2, "need experiment ids"},
+		{"run nope", "", 2, "unknown experiment"},
+		{"run -resume fig02", "", 2, "-resume requires -checkpoint"},
+		{"help", "", 0, ""},
+		{"run -quick fig02", "", 0, ""},
+		// A contained panic inside one experiment is an ordinary failure.
+		{"run -quick -retries 0 fig02", "exp.run@fig02=panic", 1, "exp fig02"},
+		// A bad fault plan itself is a usage error.
+		{"run -quick fig02", "exp.run=explode", 2, "unknown action"},
 	}
 	for _, tc := range cases {
-		cmd := exec.Command(os.Args[0], "-test.run=TestExitCodes")
-		cmd.Env = append(os.Environ(), "BANDWALL_BE_MAIN=1", "BANDWALL_ARGS="+tc.args)
-		var stderr bytes.Buffer
-		cmd.Stderr = &stderr
+		cmd, stderr := cliCommand(tc.args, tc.faults)
 		err := cmd.Run()
 		code := 0
 		if exitErr, ok := err.(*exec.ExitError); ok {
@@ -281,7 +311,8 @@ func TestExitCodes(t *testing.T) {
 			t.Fatalf("args %q: %v", tc.args, err)
 		}
 		if code != tc.wantCode {
-			t.Errorf("args %q: exit code %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			t.Errorf("args %q (faults %q): exit code %d, want %d (stderr: %s)",
+				tc.args, tc.faults, code, tc.wantCode, stderr.String())
 		}
 		if tc.wantMsg != "" {
 			if n := strings.Count(stderr.String(), tc.wantMsg); n != 1 {
@@ -289,6 +320,131 @@ func TestExitCodes(t *testing.T) {
 					tc.args, tc.wantMsg, n, stderr.String())
 			}
 		}
+	}
+}
+
+// TestSigintExitCode covers the acceptance scenario: SIGINT during a run
+// exits 130, terminates promptly (the 2-second flush budget), and the
+// checkpoint file still records both the completed and the interrupted
+// experiments.
+func TestSigintExitCode(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.ndjson")
+	// fig02 completes instantly (model-exact); fig15 blocks on an
+	// injected 30s sleep at its exp.run injection point until the signal
+	// cancels the run context.
+	cmd, stderr := cliCommand(
+		"run -quick -jobs 2 -checkpoint "+ckpt+" fig02 fig15",
+		"exp.run@fig15=sleep:30s x*")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the run time to start fig15's sleep and finish fig02.
+	time.Sleep(700 * time.Millisecond)
+	sigAt := time.Now()
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(5 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("process did not exit after SIGINT")
+	}
+	if wall := time.Since(sigAt); wall > 2*time.Second {
+		t.Errorf("exit took %v after SIGINT, want under 2s", wall)
+	}
+	code := 0
+	if exitErr, ok := waitErr.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if waitErr != nil {
+		t.Fatal(waitErr)
+	}
+	if code != 130 {
+		t.Errorf("exit code %d, want 130 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not flushed: %v", err)
+	}
+	status := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e struct{ ID, Status string }
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("checkpoint line %q: %v", line, err)
+		}
+		status[e.ID] = e.Status
+	}
+	if status["fig02"] != "ok" {
+		t.Errorf("fig02 checkpoint status = %q, want ok (entries: %v)", status["fig02"], status)
+	}
+	if status["fig15"] != "canceled" {
+		t.Errorf("fig15 checkpoint status = %q, want canceled (entries: %v)", status["fig15"], status)
+	}
+}
+
+// TestRunMetricsRobustCounters asserts the robustness counters surface in
+// the -metrics NDJSON dump: an injected transient fault must show up as a
+// recorded injection and a retry.
+func TestRunMetricsRobustCounters(t *testing.T) {
+	t.Setenv("BANDWALL_FAULTS", "exp.run@fig02=noconverge")
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	if _, err := runCapture(t, "run", "-quick", "-retries", "2", "-metrics", path, "fig02"); err != nil {
+		t.Fatalf("transient fault not recovered by retry: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if m["kind"] == "counter" {
+			name, _ := m["name"].(string)
+			v, _ := m["value"].(float64)
+			counters[name] = v
+		}
+	}
+	for _, name := range []string{"robust.retries", "robust.recovered_panics", "robust.canceled",
+		"robust.checkpoint.skips", "robust.faults.injected", "robust.degradations"} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("metrics dump missing counter %q", name)
+		}
+	}
+	if counters["robust.faults.injected"] < 1 {
+		t.Errorf("robust.faults.injected = %v, want ≥ 1", counters["robust.faults.injected"])
+	}
+	if counters["robust.retries"] < 1 {
+		t.Errorf("robust.retries = %v, want ≥ 1", counters["robust.retries"])
+	}
+}
+
+// TestRunResumeSkips runs one experiment to a checkpoint, then reruns
+// with -resume and asserts the second run skips it.
+func TestRunResumeSkips(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.ndjson")
+	if _, err := runCapture(t, "run", "-quick", "-checkpoint", ckpt, "fig02"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "run", "-quick", "-checkpoint", ckpt, "-resume", "fig02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig02: skipped") {
+		t.Errorf("resume did not skip the clean experiment:\n%s", out)
+	}
+	// A different input hash (quick off → on) must re-execute.
+	out, err = runCapture(t, "run", "-checkpoint", ckpt, "-resume", "fig02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "skipped") {
+		t.Errorf("resume skipped despite changed options:\n%s", out)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfsim"
 	"repro/internal/render"
+	"repro/internal/robust"
 )
 
 // enableObs installs a fresh metrics registry as the process default and
@@ -26,6 +27,7 @@ func enableObs() (*obs.Registry, func()) {
 	cachesim.RegisterObs(reg)
 	perfsim.RegisterObs(reg)
 	numeric.RegisterObs(reg)
+	robust.RegisterObs(reg)
 	obs.SetDefault(reg)
 	return reg, func() { obs.SetDefault(prev) }
 }
@@ -108,5 +110,17 @@ func runProgress() func(done, total int, id string) {
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}
+	}
+}
+
+// suiteProgress adapts runProgress to exp.SuiteConfig.OnDone, tagging the
+// status line with each experiment's outcome.
+func suiteProgress() func(done, total int, id, status string) {
+	base := runProgress()
+	if base == nil {
+		return nil
+	}
+	return func(done, total int, id, status string) {
+		base(done, total, id+" "+status)
 	}
 }

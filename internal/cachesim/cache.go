@@ -1,8 +1,10 @@
 package cachesim
 
 import (
+	"context"
 	"math/bits"
 
+	"repro/internal/robust"
 	"repro/internal/trace"
 )
 
@@ -349,16 +351,43 @@ func (c *Cache) Contains(addr uint64) bool {
 // counter deltas are flushed once per batch (at the warmup reset and at
 // the end), never inside the access loop.
 func RunTrace(c *Cache, accesses []trace.Access, warmup int) Stats {
+	st, _ := RunTraceCtx(context.Background(), c, accesses, warmup) // bg ctx: cannot fail
+	return st
+}
+
+// runBatch is the cancellation granularity of RunTraceCtx: the context is
+// polled once per this many accesses, keeping the per-access hot loop
+// branch-free while bounding cancellation latency to one batch.
+const runBatch = 8192
+
+// RunTraceCtx is RunTrace with cancellation checked at batch boundaries
+// (every runBatch accesses). On cancellation it returns a taxonomy
+// cancellation error with whatever stats had accumulated flushed to obs.
+func RunTraceCtx(ctx context.Context, c *Cache, accesses []trace.Access, warmup int) (Stats, error) {
 	if warmup > len(accesses) {
 		warmup = len(accesses)
 	}
-	for _, a := range accesses[:warmup] {
-		c.Access(a)
+	replay := func(as []trace.Access) error {
+		for len(as) > 0 {
+			if err := robust.Err(ctx); err != nil {
+				return err
+			}
+			n := min(runBatch, len(as))
+			for _, a := range as[:n] {
+				c.Access(a)
+			}
+			as = as[n:]
+		}
+		return nil
+	}
+	if err := replay(accesses[:warmup]); err != nil {
+		return Stats{}, err
 	}
 	c.ResetStats()
-	for _, a := range accesses[warmup:] {
-		c.Access(a)
-	}
+	err := replay(accesses[warmup:])
 	c.FlushObs()
-	return c.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return c.Stats(), nil
 }

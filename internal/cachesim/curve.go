@@ -1,6 +1,7 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,13 @@ func (p CurvePoint) MissRate() float64 { return p.Stats.MissRate() }
 // is independent and the trace is only read — so a sweep costs roughly one
 // simulation of wall-clock time on a multicore host.
 func MissCurve(accesses []trace.Access, base Config, sizes []int, warmup int) ([]CurvePoint, error) {
+	return MissCurveCtx(context.Background(), accesses, base, sizes, warmup)
+}
+
+// MissCurveCtx is MissCurve with cancellation: each per-size simulation
+// polls ctx at batch boundaries (RunTraceCtx), so a canceled sweep
+// returns within one batch per worker rather than finishing the trace.
+func MissCurveCtx(ctx context.Context, accesses []trace.Access, base Config, sizes []int, warmup int) ([]CurvePoint, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("cachesim: no sizes to sweep")
 	}
@@ -49,7 +57,11 @@ func MissCurve(accesses []trace.Access, base Config, sizes []int, warmup int) ([
 				errs[i] = err
 				return
 			}
-			st := RunTrace(c, accesses, warmup)
+			st, err := RunTraceCtx(ctx, c, accesses, warmup)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			out[i] = CurvePoint{SizeBytes: cfgs[i].SizeBytes, Stats: st}
 		}(i)
 	}

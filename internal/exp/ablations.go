@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,7 +26,7 @@ func ablPolicyExp() Experiment {
 	}
 }
 
-func runAblPolicy(o Options) (*Result, error) {
+func runAblPolicy(ctx context.Context, o Options) (*Result, error) {
 	accesses := 1_000_000
 	warmup := 250_000
 	maxSize := 2 * 1024 * 1024
@@ -62,7 +63,7 @@ func runAblPolicy(o Options) (*Result, error) {
 		{cachesim.LRU, 0}, // fully associative
 	}
 	for _, cfg := range configs {
-		pts, err := missCurveTrace(o, tr, cachesim.Config{
+		pts, err := missCurveTrace(ctx, o, tr, cachesim.Config{
 			LineBytes: 64, Assoc: cfg.assoc, Policy: cfg.policy,
 			WriteBack: true, WriteAllocate: true,
 		}, sizes, warmup)
@@ -101,7 +102,7 @@ func ablModelExp() Experiment {
 	}
 }
 
-func runAblModel(o Options) (*Result, error) {
+func runAblModel(ctx context.Context, o Options) (*Result, error) {
 	accesses := 800_000
 	warmup := 200_000
 	if o.Quick {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dram"
@@ -18,7 +19,7 @@ func extDRAMBandwidthExp() Experiment {
 	}
 }
 
-func runExtDRAMBandwidth(o Options) (*Result, error) {
+func runExtDRAMBandwidth(ctx context.Context, o Options) (*Result, error) {
 	n := 60_000
 	if o.Quick {
 		n = 15_000

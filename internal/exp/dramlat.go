@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -21,7 +22,7 @@ func extDRAMLatencyExp() Experiment {
 // runExtDRAMLat simulates the same workload behind an SRAM L2 and an
 // 8x-larger but slower DRAM L2 (same die area) and compares average memory
 // access times across workload footprints.
-func runExtDRAMLat(o Options) (*Result, error) {
+func runExtDRAMLat(ctx context.Context, o Options) (*Result, error) {
 	accesses := 1_000_000
 	warmup := 250_000
 	if o.Quick {

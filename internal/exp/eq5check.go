@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,7 +23,7 @@ func ablEq5Exp() Experiment {
 // fixed die and compares measured traffic ratios with Eq. 5. The die is
 // scaled down (1 CEA of cache = 64KB here) to keep simulation fast; the
 // model is scale-free, so the comparison is exact in expectation.
-func runAblEq5(o Options) (*Result, error) {
+func runAblEq5(ctx context.Context, o Options) (*Result, error) {
 	perCoreAccesses := 300_000
 	warmupFrac := 4 // warmup = 1/4 of the trace
 	if o.Quick {
@@ -65,7 +66,7 @@ func runAblEq5(o Options) (*Result, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			st, err := runStats(o, g, cfg, perCoreAccesses/warmupFrac, perCoreAccesses)
+			st, err := runStats(ctx, o, g, cfg, perCoreAccesses/warmupFrac, perCoreAccesses)
 			if err != nil {
 				return 0, 0, err
 			}

@@ -6,12 +6,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/robust"
 )
 
 // Options tunes experiment execution.
@@ -97,13 +99,17 @@ func trim(v float64) string {
 	return fmt.Sprintf("%.4f", v)
 }
 
-// Experiment is a registered, runnable reproduction unit.
+// Experiment is a registered, runnable reproduction unit. Run receives a
+// context that drivers thread into their sweep loops (cachesim, mattson,
+// scaling, numeric all poll it at batch boundaries), so cancellation and
+// per-experiment timeouts take effect mid-sweep rather than between
+// experiments.
 type Experiment struct {
 	ID    string
 	Title string
 	// Paper summarizes what the paper reports for this figure/table.
 	Paper string
-	Run   func(Options) (*Result, error)
+	Run   func(context.Context, Options) (*Result, error)
 }
 
 // Registry lists every experiment in paper order (populated in
@@ -125,20 +131,36 @@ func ByID(id string) (Experiment, bool) {
 // allocation footprint. With collection disabled the span is a free
 // no-op. This is the entry point the CLI and the parallel driver share;
 // calling e.Run directly skips instrumentation.
-func RunOne(e Experiment, o Options) (*Result, error) {
+//
+// RunOne is additionally the pipeline's panic barrier: any panic escaping
+// the driver (library invariant violations, injected worker panics) is
+// contained into a *robust.PanicError return with the stack attached, so
+// one bad configuration can never take down a suite run. The context is
+// tagged with the experiment id as the fault-injection scope, and the
+// "exp.run" injection point fires before the driver.
+func RunOne(ctx context.Context, e Experiment, o Options) (r *Result, err error) {
+	if cerr := robust.Err(ctx); cerr != nil {
+		return nil, cerr
+	}
+	ctx = robust.WithScope(ctx, e.ID)
 	sp := obs.StartSpan("exp." + e.ID)
-	r, err := e.Run(o)
-	sp.End()
-	return r, err
+	defer sp.End()
+	defer robust.Recover(&err)
+	if ierr := robust.Hit(ctx, "exp.run"); ierr != nil {
+		return nil, ierr
+	}
+	return e.Run(ctx, o)
 }
 
-// RunAll executes every registered experiment, stopping at the first error.
-func RunAll(o Options) ([]*Result, error) {
+// RunAll executes every registered experiment sequentially, stopping at
+// the first error (cancellation included) and returning the results
+// completed so far alongside it.
+func RunAll(ctx context.Context, o Options) ([]*Result, error) {
 	out := make([]*Result, 0, len(Registry))
 	for _, e := range Registry {
-		r, err := RunOne(e, o)
+		r, err := RunOne(ctx, e, o)
 		if err != nil {
-			return nil, fmt.Errorf("exp %s: %w", e.ID, err)
+			return out, fmt.Errorf("exp %s: %w", e.ID, err)
 		}
 		out = append(out, r)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -17,7 +18,7 @@ func mustRun(t *testing.T, id string, o Options) *Result {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	r, err := e.Run(o)
+	r, err := e.Run(context.Background(), o)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -384,7 +385,7 @@ func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
-	results, err := RunAll(quick())
+	results, err := RunAll(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +512,7 @@ func TestRunAllParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
-	results, err := RunAllParallel(quick(), 4)
+	results, err := RunAllParallel(context.Background(), quick(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,7 +524,7 @@ func TestRunAllParallel(t *testing.T) {
 			t.Errorf("result %d out of order or nil", i)
 		}
 	}
-	if _, err := RunAllParallel(quick(), 0); err == nil {
+	if _, err := RunAllParallel(context.Background(), quick(), 0); err == nil {
 		t.Error("zero workers accepted")
 	}
 }

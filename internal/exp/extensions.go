@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,7 @@ func extEnvelopeExp() Experiment {
 // 1.1^1.5 ≈ 1.154.
 var itrsBudgetPerGen = math.Pow(1.1, 1.5)
 
-func runExtEnvelope(Options) (*Result, error) {
+func runExtEnvelope(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	gens := scaling.Generations(s.Base().N(), 4)
 	scenarios := []struct {
@@ -53,7 +54,7 @@ func runExtEnvelope(Options) (*Result, error) {
 	values := map[string]float64{}
 	for _, stk := range stacks {
 		for _, sc := range scenarios {
-			pts, err := s.SweepGenerations(stk.st, gens, sc.budget)
+			pts, err := s.SweepGenerationsCtx(ctx, stk.st, gens, sc.budget)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +87,7 @@ func extHeteroExp() Experiment {
 	}
 }
 
-func runExtHetero(Options) (*Result, error) {
+func runExtHetero(ctx context.Context, _ Options) (*Result, error) {
 	big := hetero.CoreClass{Name: "big", AreaCEA: 1, TrafficWeight: 1, PerfWeight: 1}
 	// Kumar et al.-style little core (the paper's own smaller-core
 	// citations): much smaller, slower, and bandwidth-leaner.
@@ -134,7 +135,7 @@ func runExtHetero(Options) (*Result, error) {
 
 	// Homogeneous reference: 11 baseline cores (Fig 2).
 	sol := scaling.Default()
-	homog, err := sol.MaxCores(technique.Combine(), 32, 1)
+	homog, err := sol.MaxCoresCtx(ctx, technique.Combine(), 32, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -18,7 +19,7 @@ func fig01Exp() Experiment {
 	}
 }
 
-func runFig01(o Options) (*Result, error) {
+func runFig01(ctx context.Context, o Options) (*Result, error) {
 	accesses := 1_600_000
 	warmup := 400_000
 	maxSize := 4 * 1024 * 1024
@@ -53,7 +54,7 @@ func runFig01(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", wl.Name, err)
 		}
-		pts, err := missCurve(o, gen, base, sizes, warmup, accesses)
+		pts, err := missCurve(ctx, o, gen, base, sizes, warmup, accesses)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"repro/internal/render"
 	"repro/internal/scaling"
 	"repro/internal/technique"
@@ -15,7 +16,7 @@ func fig02Exp() Experiment {
 	}
 }
 
-func runFig02(Options) (*Result, error) {
+func runFig02(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	model := s.Model()
 	const n2 = 32.0
@@ -46,15 +47,15 @@ func runFig02(Options) (*Result, error) {
 		},
 	}
 
-	coresB1, err := s.MaxCores(technique.Combine(), n2, 1)
+	coresB1, err := s.MaxCoresCtx(ctx, technique.Combine(), n2, 1)
 	if err != nil {
 		return nil, err
 	}
-	coresB15, err := s.MaxCores(technique.Combine(), n2, 1.5)
+	coresB15, err := s.MaxCoresCtx(ctx, technique.Combine(), n2, 1.5)
 	if err != nil {
 		return nil, err
 	}
-	exactB1, err := s.EnvelopeIntersection(n2, 1)
+	exactB1, err := s.EnvelopeIntersectionCtx(ctx, n2, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func fig03Exp() Experiment {
 	}
 }
 
-func runFig03(Options) (*Result, error) {
+func runFig03(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	ratios := []float64{1, 2, 4, 8, 16, 32, 64, 128}
 	gens := scaling.ScalingRatios(s.Base().N(), ratios)
@@ -103,11 +104,11 @@ func runFig03(Options) (*Result, error) {
 			// The baseline is balanced by construction.
 			cores, exact = 8, 8
 		} else {
-			exact, err = s.SupportableCores(technique.Combine(), g.N, 1)
+			exact, err = s.SupportableCoresCtx(ctx, technique.Combine(), g.N, 1)
 			if err != nil {
 				return nil, err
 			}
-			cores, err = s.MaxCores(technique.Combine(), g.N, 1)
+			cores, err = s.MaxCoresCtx(ctx, technique.Combine(), g.N, 1)
 			if err != nil {
 				return nil, err
 			}

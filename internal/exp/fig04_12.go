@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/render"
@@ -21,7 +22,7 @@ type sweepPoint struct {
 // runTechniqueSweep solves supportable cores for each point on the
 // 32-CEA next-generation chip under a constant envelope — the common
 // skeleton of the paper's Figs 4–12.
-func runTechniqueSweep(id, title, note string, points []sweepPoint) (*Result, error) {
+func runTechniqueSweep(ctx context.Context, id, title, note string, points []sweepPoint) (*Result, error) {
 	s := scaling.Default()
 	const n2 = 32.0
 	tb := &render.Table{
@@ -31,11 +32,11 @@ func runTechniqueSweep(id, title, note string, points []sweepPoint) (*Result, er
 	values := map[string]float64{}
 	var xs, ys []float64
 	for i, pt := range points {
-		exact, err := s.SupportableCores(pt.stack, n2, 1)
+		exact, err := s.SupportableCoresCtx(ctx, pt.stack, n2, 1)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pt.label, err)
 		}
-		cores, err := s.MaxCores(pt.stack, n2, 1)
+		cores, err := s.MaxCoresCtx(ctx, pt.stack, n2, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +117,7 @@ func fig04Exp() Experiment {
 		ID:    "fig04",
 		Title: "Cores enabled by cache compression",
 		Paper: "Compression ratios 1.3/1.7/2.0/2.5/3.0x enable 11/12/13/14/14 cores on 32 CEAs — modest, dampened by the -α exponent.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := compressionSweep(func(r float64) technique.Technique {
 				return technique.CacheCompression{Ratio: r}
 			})
@@ -126,7 +127,7 @@ func fig04Exp() Experiment {
 				{label: "1.70x", stack: technique.Combine(technique.CacheCompression{Ratio: 1.7}), valueKey: "cores@1.70x"},
 			}
 			pts = append(pts[:2], append(extra, pts[2:]...)...)
-			return runTechniqueSweep("fig04", "Cache compression (indirect)",
+			return runTechniqueSweep(ctx, "fig04", "Cache compression (indirect)",
 				"paper: 11/12/13/14/14 cores at 1.3/1.7/2.0/2.5/3.0x", pts)
 		},
 	}
@@ -137,14 +138,14 @@ func fig05Exp() Experiment {
 		ID:    "fig05",
 		Title: "Cores enabled by DRAM caches",
 		Paper: "4x density reaches proportional scaling (16 cores); 8x and 16x reach 18 and 21 on 32 CEAs.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := []sweepPoint{
 				{label: "SRAM L2", stack: technique.Combine(), valueKey: "cores@sram"},
 				{label: "DRAM L2 (4x)", stack: technique.Combine(technique.DRAMCache{Density: 4}), valueKey: "cores@4x", scenario: "pessimistic"},
 				{label: "DRAM L2 (8x)", stack: technique.Combine(technique.DRAMCache{Density: 8}), valueKey: "cores@8x", scenario: "realistic"},
 				{label: "DRAM L2 (16x)", stack: technique.Combine(technique.DRAMCache{Density: 16}), valueKey: "cores@16x", scenario: "optimistic"},
 			}
-			return runTechniqueSweep("fig05", "DRAM caches (indirect)",
+			return runTechniqueSweep(ctx, "fig05", "DRAM caches (indirect)",
 				"paper: 16/18/21 cores at 4x/8x/16x density", pts)
 		},
 	}
@@ -155,14 +156,14 @@ func fig06Exp() Experiment {
 		ID:    "fig06",
 		Title: "Cores enabled by 3D-stacked caches",
 		Paper: "An SRAM cache die allows 14 cores; DRAM dies of 8x/16x density allow 25/32 — super-proportional.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := []sweepPoint{
 				{label: "No 3D Cache", stack: technique.Combine(), valueKey: "cores@none"},
 				{label: "3D SRAM", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 1}), valueKey: "cores@sram"},
 				{label: "3D DRAM (8x)", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 8}), valueKey: "cores@8x"},
 				{label: "3D DRAM (16x)", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 16}), valueKey: "cores@16x"},
 			}
-			return runTechniqueSweep("fig06", "3D-stacked cache (indirect)",
+			return runTechniqueSweep(ctx, "fig06", "3D-stacked cache (indirect)",
 				"paper: 14/25/32 cores for SRAM/8x-DRAM/16x-DRAM stacked dies", pts)
 		},
 	}
@@ -173,11 +174,11 @@ func fig07Exp() Experiment {
 		ID:    "fig07",
 		Title: "Cores enabled by unused-data filtering",
 		Paper: "At the realistic 40% unused data the benefit is one extra core (12); even 80% only reaches proportional scaling (16).",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := unusedDataSweep(false, func(u float64) technique.Technique {
 				return technique.UnusedDataFilter{Unused: u}
 			})
-			return runTechniqueSweep("fig07", "Unused-data filtering (indirect)",
+			return runTechniqueSweep(ctx, "fig07", "Unused-data filtering (indirect)",
 				"paper: 12 cores at 40% unused, 16 at 80%", pts)
 		},
 	}
@@ -188,7 +189,7 @@ func fig08Exp() Experiment {
 		ID:    "fig08",
 		Title: "Cores enabled by smaller cores",
 		Paper: "Even 80x-smaller cores barely help (≈12 cores): freeing the whole die for cache only doubles cache per core at proportional scaling, but 4x is needed.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := []sweepPoint{
 				{label: "1x", stack: technique.Combine(), valueKey: "cores@1x"},
 				{label: "9x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 9}), valueKey: "cores@9x", scenario: "pessimistic"},
@@ -196,7 +197,7 @@ func fig08Exp() Experiment {
 				{label: "40x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 40}), valueKey: "cores@40x", scenario: "realistic"},
 				{label: "80x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 80}), valueKey: "cores@80x", scenario: "optimistic"},
 			}
-			return runTechniqueSweep("fig08", "Smaller cores (indirect)",
+			return runTechniqueSweep(ctx, "fig08", "Smaller cores (indirect)",
 				"paper: the benefit saturates near 12–13 cores regardless of shrink factor", pts)
 		},
 	}
@@ -207,11 +208,11 @@ func fig09Exp() Experiment {
 		ID:    "fig09",
 		Title: "Cores enabled by link compression",
 		Paper: "A direct technique: 2x effective bandwidth restores proportional scaling (16 cores); higher ratios are super-proportional.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := compressionSweep(func(r float64) technique.Technique {
 				return technique.LinkCompression{Ratio: r}
 			})
-			return runTechniqueSweep("fig09", "Link compression (direct)",
+			return runTechniqueSweep(ctx, "fig09", "Link compression (direct)",
 				"paper: 16 cores at 2.0x; direct techniques dodge the -α dampening", pts)
 		},
 	}
@@ -222,11 +223,11 @@ func fig10Exp() Experiment {
 		ID:    "fig10",
 		Title: "Cores enabled by sectored caches",
 		Paper: "Fetching only useful sectors cuts traffic directly: more effective than filtering, especially at high unused fractions.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := unusedDataSweep(true, func(u float64) technique.Technique {
 				return technique.SectoredCache{Unused: u}
 			})
-			return runTechniqueSweep("fig10", "Sectored caches (direct)",
+			return runTechniqueSweep(ctx, "fig10", "Sectored caches (direct)",
 				"paper: ≈14 cores at 40% unused, ≈23 at 80%", pts)
 		},
 	}
@@ -237,11 +238,11 @@ func fig11Exp() Experiment {
 		ID:    "fig11",
 		Title: "Cores enabled by smaller cache lines",
 		Paper: "Dual benefit (traffic and capacity): 40% unused data restores proportional scaling (16 cores); 80% reaches ≈28.",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := unusedDataSweep(true, func(u float64) technique.Technique {
 				return technique.SmallCacheLines{Unused: u}
 			})
-			return runTechniqueSweep("fig11", "Smaller cache lines (dual)",
+			return runTechniqueSweep(ctx, "fig11", "Smaller cache lines (dual)",
 				"paper: 16 cores at the realistic 40% unused data", pts)
 		},
 	}
@@ -252,11 +253,11 @@ func fig12Exp() Experiment {
 		ID:    "fig12",
 		Title: "Cores enabled by cache+link compression",
 		Paper: "Compressing once for both the cache and the link: 2.0x already yields super-proportional scaling (18 cores).",
-		Run: func(Options) (*Result, error) {
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
 			pts := compressionSweep(func(r float64) technique.Technique {
 				return technique.CacheLinkCompression{Ratio: r}
 			})
-			return runTechniqueSweep("fig12", "Cache+link compression (dual)",
+			return runTechniqueSweep(ctx, "fig12", "Cache+link compression (dual)",
 				"paper: 18 cores at 2.0x", pts)
 		},
 	}

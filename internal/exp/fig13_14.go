@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -20,7 +21,7 @@ func fig13Exp() Experiment {
 	}
 }
 
-func runFig13(Options) (*Result, error) {
+func runFig13(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	targets := []float64{16, 32, 64, 128}
 	fshAxis := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
@@ -52,7 +53,7 @@ func runFig13(Options) (*Result, error) {
 	}
 	values := map[string]float64{}
 	for _, p := range targets {
-		fsh, err := s.BreakEvenSharing(2*p, p, 1)
+		fsh, err := s.BreakEvenSharingCtx(ctx, 2*p, p, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +110,7 @@ func fig14WorkloadConfig(cores int, seed int64) workload.SharedPrivateConfig {
 	}
 }
 
-func runFig14(o Options) (*Result, error) {
+func runFig14(ctx context.Context, o Options) (*Result, error) {
 	accesses := 1_200_000
 	if o.Quick {
 		accesses = 250_000

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/render"
@@ -17,7 +18,7 @@ func fig15Exp() Experiment {
 	}
 }
 
-func runFig15(Options) (*Result, error) {
+func runFig15(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	gens := scaling.Generations(s.Base().N(), 4)
 	tb := &render.Table{
@@ -35,7 +36,7 @@ func runFig15(Options) (*Result, error) {
 	}
 	tb.AddRow(idealRow...)
 
-	basePts, err := s.SweepGenerations(technique.Combine(), gens, 1)
+	basePts, err := s.SweepGenerationsCtx(ctx, technique.Combine(), gens, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +49,7 @@ func runFig15(Options) (*Result, error) {
 
 	for _, entry := range technique.Catalog {
 		entry := entry
-		candles, err := s.SweepCandles(func(a technique.Assumption) technique.Stack {
+		candles, err := s.SweepCandlesCtx(ctx, func(a technique.Assumption) technique.Stack {
 			return technique.Combine(entry.New(a))
 		}, gens, 1)
 		if err != nil {
@@ -111,7 +112,7 @@ func fig16Exp() Experiment {
 	}
 }
 
-func runFig16(Options) (*Result, error) {
+func runFig16(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	gens := scaling.Generations(s.Base().N(), 4)
 	tb := &render.Table{
@@ -125,7 +126,7 @@ func runFig16(Options) (*Result, error) {
 		idealRow = append(idealRow, trim(s.ProportionalCores(g.N)))
 	}
 	tb.AddRow(idealRow...)
-	basePts, err := s.SweepGenerations(technique.Combine(), gens, 1)
+	basePts, err := s.SweepGenerationsCtx(ctx, technique.Combine(), gens, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -144,15 +145,15 @@ func runFig16(Options) (*Result, error) {
 		label := realistic[i].Label()
 		row := []any{label}
 		for _, g := range gens {
-			pess, err := s.MaxCores(pessimistic[i], g.N, 1)
+			pess, err := s.MaxCoresCtx(ctx, pessimistic[i], g.N, 1)
 			if err != nil {
 				return nil, err
 			}
-			real, err := s.MaxCores(realistic[i], g.N, 1)
+			real, err := s.MaxCoresCtx(ctx, realistic[i], g.N, 1)
 			if err != nil {
 				return nil, err
 			}
-			opt, err := s.MaxCores(optimistic[i], g.N, 1)
+			opt, err := s.MaxCoresCtx(ctx, optimistic[i], g.N, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +165,7 @@ func runFig16(Options) (*Result, error) {
 
 	// Headline: the all-combined configuration's die share at 16x.
 	all := realistic[len(realistic)-1]
-	exact, err := s.SupportableCores(all, 256, 1)
+	exact, err := s.SupportableCoresCtx(ctx, all, 256, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +192,7 @@ func fig17Exp() Experiment {
 	}
 }
 
-func runFig17(Options) (*Result, error) {
+func runFig17(ctx context.Context, _ Options) (*Result, error) {
 	configs := []struct {
 		label string
 		stack technique.Stack
@@ -218,7 +219,7 @@ func runFig17(Options) (*Result, error) {
 			s := scaling.MustNew(scalingBase(), a)
 			row := []any{cfg.label, a}
 			for _, g := range gens {
-				cores, err := s.MaxCores(cfg.stack, g.N, 1)
+				cores, err := s.MaxCoresCtx(ctx, cfg.stack, g.N, 1)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -22,7 +23,7 @@ func writebackExp() Experiment {
 	}
 }
 
-func runWriteback(o Options) (*Result, error) {
+func runWriteback(ctx context.Context, o Options) (*Result, error) {
 	accesses := 1_200_000
 	warmup := 300_000
 	maxSize := 2 * 1024 * 1024
@@ -41,7 +42,7 @@ func runWriteback(o Options) (*Result, error) {
 		return nil, err
 	}
 	sizes := cachesim.PowerOfTwoSizes(32*1024, maxSize)
-	pts, err := missCurve(o, g, cachesim.Config{
+	pts, err := missCurve(ctx, o, g, cachesim.Config{
 		LineBytes: 64, Assoc: 8, Policy: cachesim.LRU, WriteBack: true, WriteAllocate: true,
 	}, sizes, warmup, accesses)
 	if err != nil {
@@ -91,7 +92,7 @@ func compressionExp() Experiment {
 	}
 }
 
-func runCompression(o Options) (*Result, error) {
+func runCompression(ctx context.Context, o Options) (*Result, error) {
 	lines := 4000
 	if o.Quick {
 		lines = 800
@@ -178,7 +179,7 @@ func queueingExp() Experiment {
 	}
 }
 
-func runQueueing(Options) (*Result, error) {
+func runQueueing(ctx context.Context, _ Options) (*Result, error) {
 	// Niagara2-like channel: 42 GB/s, 64B lines, 60ns unloaded.
 	ch, err := memsys.NewChannel(42e9, 64, 60e-9)
 	if err != nil {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -15,11 +17,11 @@ func TestFig01AlphaUnchangedByProfiler(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick fig01 sweep")
 	}
-	fast, err := runFig01(Options{Quick: true})
+	fast, err := runFig01(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	brute, err := runFig01(Options{Quick: true, Brute: true})
+	brute, err := runFig01(context.Background(), Options{Quick: true, Brute: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -20,7 +21,7 @@ func extOverheadsExp() Experiment {
 	}
 }
 
-func runExtOverheads(Options) (*Result, error) {
+func runExtOverheads(ctx context.Context, _ Options) (*Result, error) {
 	s := scaling.Default()
 	values := map[string]float64{}
 
@@ -43,11 +44,11 @@ func runExtOverheads(Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ideal, err := s.MaxCores(technique.Combine(technique.SmallerCores{AreaFraction: fsm}), 32, 1)
+		ideal, err := s.MaxCoresCtx(ctx, technique.Combine(technique.SmallerCores{AreaFraction: fsm}), 32, 1)
 		if err != nil {
 			return nil, err
 		}
-		withNoC, err := s.MaxCores(technique.Combine(technique.SmallerCores{AreaFraction: eff}), 32, 1)
+		withNoC, err := s.MaxCoresCtx(ctx, technique.Combine(technique.SmallerCores{AreaFraction: eff}), 32, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +67,7 @@ func runExtOverheads(Options) (*Result, error) {
 		const nominal = 8.0
 		// Size the DRAM L2 for the nominal technique at this generation:
 		// cache CEAs ≈ N − P at the nominal solution.
-		nomCores, err := s.MaxCores(technique.Combine(technique.DRAMCache{Density: nominal}), g.N, 1)
+		nomCores, err := s.MaxCoresCtx(ctx, technique.Combine(technique.DRAMCache{Density: nominal}), g.N, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +84,7 @@ func runExtOverheads(Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		discCores, err := s.MaxCores(technique.Combine(technique.DRAMCache{Density: effDensity}), g.N, 1)
+		discCores, err := s.MaxCoresCtx(ctx, technique.Combine(technique.DRAMCache{Density: effDensity}), g.N, 1)
 		if err != nil {
 			return nil, err
 		}

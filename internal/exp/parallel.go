@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/robust"
 )
 
 // RunAllParallel executes every registered experiment concurrently with at
@@ -12,8 +15,8 @@ import (
 // slice. Experiments are independent by construction (each builds its own
 // generators and simulators), so this is a pure latency win for the CLI's
 // `run all`.
-func RunAllParallel(o Options, workers int) ([]*Result, error) {
-	return RunAllParallelProgress(o, workers, nil)
+func RunAllParallel(ctx context.Context, o Options, workers int) ([]*Result, error) {
+	return RunAllParallelProgress(ctx, o, workers, nil)
 }
 
 // RunAllParallelProgress is RunAllParallel with a completion callback.
@@ -21,15 +24,22 @@ func RunAllParallel(o Options, workers int) ([]*Result, error) {
 // A fixed pool of `workers` goroutines pulls experiment indices from a
 // channel, so at most `workers` experiment drivers exist at any moment —
 // experiments allocate lazily instead of all 30+ eagerly. Each run is
-// wrapped in an obs span via RunOne.
+// wrapped in an obs span and a panic barrier via RunOne, so an injected
+// or organic worker panic fails only its own experiment.
 //
 // onDone, when non-nil, is invoked after each experiment finishes with
 // the number completed so far, the total, and the experiment id. It is
 // called from worker goroutines and must be safe for concurrent use.
 //
 // Unlike a fail-fast driver, every experiment runs to completion and all
-// failures are reported, joined with errors.Join in registry order.
-func RunAllParallelProgress(o Options, workers int, onDone func(done, total int, id string)) ([]*Result, error) {
+// failures are reported, joined with errors.Join in registry order. The
+// returned slice is always full-length with nil entries at failed slots,
+// so completed work survives partial failure. Cancellation drains the
+// pool promptly: in-flight experiments abort at their next batch
+// boundary and not-yet-started ones fail immediately with a taxonomy
+// cancellation error, but no worker goroutine is leaked — the pool
+// always joins before returning.
+func RunAllParallelProgress(ctx context.Context, o Options, workers int, onDone func(done, total int, id string)) ([]*Result, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("exp: workers must be ≥ 1, got %d", workers)
 	}
@@ -48,7 +58,10 @@ func RunAllParallelProgress(o Options, workers int, onDone func(done, total int,
 			defer wg.Done()
 			for i := range idxs {
 				e := Registry[i]
-				results[i], errs[i] = RunOne(e, o)
+				results[i], errs[i] = RunOne(ctx, e, o)
+				if errs[i] != nil && robust.Classify(errs[i]) == robust.Canceled {
+					robust.CountCanceled()
+				}
 				if onDone != nil {
 					onDone(int(done.Add(1)), total, e.ID)
 				}
@@ -67,7 +80,7 @@ func RunAllParallelProgress(o Options, workers int, onDone func(done, total int,
 		}
 	}
 	if len(failures) > 0 {
-		return nil, errors.Join(failures...)
+		return results, errors.Join(failures...)
 	}
 	return results, nil
 }

@@ -1,13 +1,17 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/robust"
 )
 
 // withStubRegistry swaps Registry for a synthetic experiment set and
@@ -31,7 +35,7 @@ func stubExperiments(n int, ran *atomic.Int64) []Experiment {
 			ID:    id,
 			Title: "stub " + id,
 			Paper: "n/a",
-			Run: func(o Options) (*Result, error) {
+			Run: func(ctx context.Context, o Options) (*Result, error) {
 				// Later-registered experiments finish sooner.
 				time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
 				if ran != nil {
@@ -50,7 +54,7 @@ func stubExperiments(n int, ran *atomic.Int64) []Experiment {
 func TestRunAllParallelOrder(t *testing.T) {
 	var ran atomic.Int64
 	withStubRegistry(t, stubExperiments(24, &ran))
-	results, err := RunAllParallel(Options{Quick: true}, 4)
+	results, err := RunAllParallel(context.Background(), Options{Quick: true}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +81,7 @@ func TestRunAllParallelProgress(t *testing.T) {
 	var mu sync.Mutex
 	var calls int
 	var maxDone int
-	_, err := RunAllParallelProgress(Options{Quick: true}, 4, func(done, total int, id string) {
+	_, err := RunAllParallelProgress(context.Background(), Options{Quick: true}, 4, func(done, total int, id string) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls++
@@ -101,20 +105,29 @@ func TestRunAllParallelProgress(t *testing.T) {
 
 // TestRunAllParallelErrors injects two failing experiments and asserts
 // BOTH errors survive (errors.Join), not just the first in registry
-// order, and that no partial results leak.
+// order, and that the other experiments' results survive the failures.
 func TestRunAllParallelErrors(t *testing.T) {
 	errBoom := errors.New("boom")
 	errBang := errors.New("bang")
 	exps := stubExperiments(8, nil)
-	exps[2] = Experiment{ID: "bad-early", Title: "t", Paper: "p", Run: func(Options) (*Result, error) { return nil, errBoom }}
-	exps[6] = Experiment{ID: "bad-late", Title: "t", Paper: "p", Run: func(Options) (*Result, error) { return nil, errBang }}
+	exps[2] = Experiment{ID: "bad-early", Title: "t", Paper: "p", Run: func(context.Context, Options) (*Result, error) { return nil, errBoom }}
+	exps[6] = Experiment{ID: "bad-late", Title: "t", Paper: "p", Run: func(context.Context, Options) (*Result, error) { return nil, errBang }}
 	withStubRegistry(t, exps)
-	results, err := RunAllParallel(Options{Quick: true}, 4)
+	results, err := RunAllParallel(context.Background(), Options{Quick: true}, 4)
 	if err == nil {
 		t.Fatal("want error from failing experiments")
 	}
-	if results != nil {
-		t.Error("results must be nil on failure")
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results, want full-length slice of %d", len(results), len(exps))
+	}
+	for i, r := range results {
+		failed := i == 2 || i == 6
+		if failed && r != nil {
+			t.Errorf("results[%d] = %v, want nil for failed slot", i, r)
+		}
+		if !failed && r == nil {
+			t.Errorf("results[%d] is nil; completed work must survive partial failure", i)
+		}
 	}
 	if !errors.Is(err, errBoom) || !errors.Is(err, errBang) {
 		t.Errorf("joined error must wrap both failures, got: %v", err)
@@ -129,7 +142,7 @@ func TestRunAllParallelErrors(t *testing.T) {
 // TestRunAllParallelBadWorkers covers the guard rail.
 func TestRunAllParallelBadWorkers(t *testing.T) {
 	for _, w := range []int{0, -1} {
-		if _, err := RunAllParallel(Options{Quick: true}, w); err == nil {
+		if _, err := RunAllParallel(context.Background(), Options{Quick: true}, w); err == nil {
 			t.Errorf("workers=%d accepted", w)
 		}
 	}
@@ -143,7 +156,7 @@ func TestRunAllParallelBoundsConcurrency(t *testing.T) {
 	exps := make([]Experiment, 10)
 	for i := range exps {
 		id := fmt.Sprintf("gate%02d", i)
-		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a", Run: func(Options) (*Result, error) {
+		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a", Run: func(context.Context, Options) (*Result, error) {
 			cur := inFlight.Add(1)
 			for {
 				p := peak.Load()
@@ -157,10 +170,130 @@ func TestRunAllParallelBoundsConcurrency(t *testing.T) {
 		}}
 	}
 	withStubRegistry(t, exps)
-	if _, err := RunAllParallel(Options{Quick: true}, workers); err != nil {
+	if _, err := RunAllParallel(context.Background(), Options{Quick: true}, workers); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > workers {
 		t.Errorf("peak concurrency %d exceeds workers %d", p, workers)
 	}
+}
+
+// TestRunAllParallelWorkerPanic injects panicking experiments — both via
+// the fault injector and an organic panic in a driver — and asserts the
+// pool survives: every healthy experiment completes with a result, the
+// joined error wraps a *robust.PanicError per failure, and no worker
+// goroutine leaks.
+func TestRunAllParallelWorkerPanic(t *testing.T) {
+	exps := stubExperiments(10, nil)
+	exps[3] = Experiment{ID: "panicker", Title: "t", Paper: "p", Run: func(context.Context, Options) (*Result, error) {
+		panic("driver bug")
+	}}
+	plan, err := robust.ParsePlan("exp.run@stub07=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer robust.SetInjector(robust.NewInjector(plan, 1))()
+	withStubRegistry(t, exps)
+
+	before := runtime.NumGoroutine()
+	results, err := RunAllParallel(context.Background(), Options{Quick: true}, 4)
+	if err == nil {
+		t.Fatal("want joined panic errors")
+	}
+	var pe *robust.PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("error does not carry a *robust.PanicError: %v", err)
+	}
+	for _, want := range []string{"exp panicker", "exp stub07", "panic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+	var ok int
+	for i, r := range results {
+		if r != nil {
+			ok++
+		} else if i != 3 && i != 7 {
+			t.Errorf("healthy experiment %s lost its result", exps[i].ID)
+		}
+	}
+	if ok != 8 {
+		t.Errorf("%d experiments completed, want 8", ok)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunAllParallelCancellation cancels mid-run and asserts prompt
+// drain: started experiments finish or abort, queued ones fail with a
+// cancellation-classed error, the pool's goroutines all exit, and the
+// joined error classifies as Canceled.
+func TestRunAllParallelCancellation(t *testing.T) {
+	const n = 12
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	exps := make([]Experiment, n)
+	for i := range exps {
+		id := fmt.Sprintf("cancel%02d", i)
+		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a", Run: func(ctx context.Context, _ Options) (*Result, error) {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, robust.Err(ctx)
+			}
+			return &Result{ID: id}, nil
+		}}
+	}
+	withStubRegistry(t, exps)
+
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var results []*Result
+	var err error
+	go func() {
+		defer close(done)
+		results, err = RunAllParallel(ctx, Options{Quick: true}, 3)
+	}()
+	for started.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not drain after cancellation")
+	}
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if robust.Classify(err) != robust.Canceled {
+		t.Errorf("Classify(%v) = %v, want Canceled", err, robust.Classify(err))
+	}
+	if len(results) != n {
+		t.Fatalf("got %d result slots, want %d", len(results), n)
+	}
+	// Queued experiments must not have started after cancellation: the
+	// in-flight three may have completed (release raced the cancel), but
+	// at least the tail must carry cancellation errors.
+	if started.Load() == n {
+		t.Error("cancellation did not stop queued experiments from starting")
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if pool workers leak past a generous grace
+// period. Background runtime goroutines make exact equality too strict.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
 }

@@ -1,0 +1,338 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/robust"
+)
+
+// acceptanceExps builds the stub suite for the acceptance scenario: three
+// healthy experiments plus "boom" (injected panic), "corrupt" (injected
+// trace corruption), and "flaky" (one injected non-convergence, recovered
+// by retry). runs counts actual driver executions per index.
+func acceptanceExps(runs []atomic.Int64) []Experiment {
+	ids := []string{"good0", "boom", "corrupt", "flaky", "good1", "good2"}
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		i, id := i, id
+		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a",
+			Run: func(ctx context.Context, _ Options) (*Result, error) {
+				runs[i].Add(1)
+				if err := robust.Hit(ctx, "exp.trace"); err != nil {
+					return nil, err
+				}
+				return &Result{ID: id, Values: map[string]float64{"v": float64(i)}}, nil
+			}}
+	}
+	return exps
+}
+
+// TestRunSuiteAcceptance walks the ISSUE's seeded fault plan end to end:
+// a full run attempts every experiment, recovers the transient via retry,
+// reports exactly two hard failures — and a subsequent -resume run
+// re-executes only those two.
+func TestRunSuiteAcceptance(t *testing.T) {
+	plan, err := robust.ParsePlan("exp.run@boom=panic,exp.trace@corrupt=corrupt,exp.run@flaky=noconverge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer robust.SetInjector(robust.NewInjector(plan, 1))()
+
+	runs := make([]atomic.Int64, 6)
+	exps := acceptanceExps(runs)
+	ckptPath := filepath.Join(t.TempDir(), "ck.ndjson")
+	ckpt, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true}
+	cfg := SuiteConfig{Workers: 3, Attempts: 3, Backoff: time.Millisecond, Checkpoint: ckpt}
+	outcomes, suiteErr := RunSuite(context.Background(), exps, o, cfg)
+	ckpt.Close()
+
+	if suiteErr == nil {
+		t.Fatal("want joined failures from boom and corrupt")
+	}
+	if robust.Classify(suiteErr) == robust.Canceled {
+		t.Errorf("hard failures must not classify as canceled: %v", suiteErr)
+	}
+	byID := map[string]Outcome{}
+	failed := 0
+	for _, oc := range outcomes {
+		byID[oc.ID] = oc
+		if oc.Status == StatusFailed {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Errorf("%d failed outcomes, want exactly 2:\n%s", failed, SuiteSummary(outcomes))
+	}
+	var pe *robust.PanicError
+	if oc := byID["boom"]; oc.Status != StatusFailed || !errors.As(oc.Err, &pe) {
+		t.Errorf("boom = %s (%v), want failed with a contained PanicError", oc.Status, oc.Err)
+	}
+	if oc := byID["corrupt"]; oc.Status != StatusFailed || !errors.Is(oc.Err, robust.ErrCorruptTrace) {
+		t.Errorf("corrupt = %s (%v), want failed wrapping ErrCorruptTrace", oc.Status, oc.Err)
+	}
+	if oc := byID["flaky"]; oc.Status != StatusOK || oc.Attempts != 2 {
+		t.Errorf("flaky = %s attempts=%d (%v), want ok after exactly 2 attempts", oc.Status, oc.Attempts, oc.Err)
+	}
+	for _, id := range []string{"good0", "good1", "good2"} {
+		if oc := byID[id]; oc.Status != StatusOK || oc.Result == nil {
+			t.Errorf("%s = %s, want ok with a result", id, oc.Status)
+		}
+	}
+
+	// Resume: the injected one-shot faults are exhausted, so the two hard
+	// failures now succeed — and nothing else re-executes.
+	before := make([]int64, 6)
+	for i := range runs {
+		before[i] = runs[i].Load()
+	}
+	ckpt2, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	cfg.Checkpoint, cfg.Resume = ckpt2, true
+	outcomes2, err := RunSuite(context.Background(), exps, o, cfg)
+	if err != nil {
+		t.Fatalf("resume run failed: %v", err)
+	}
+	for _, oc := range outcomes2 {
+		switch oc.ID {
+		case "boom", "corrupt":
+			if oc.Status != StatusOK {
+				t.Errorf("resume: %s = %s (%v), want ok", oc.ID, oc.Status, oc.Err)
+			}
+		default:
+			if oc.Status != StatusSkipped {
+				t.Errorf("resume: %s = %s, want skipped", oc.ID, oc.Status)
+			}
+		}
+	}
+	for i, e := range exps {
+		delta := runs[i].Load() - before[i]
+		want := int64(0)
+		if e.ID == "boom" || e.ID == "corrupt" {
+			want = 1
+		}
+		if delta != want {
+			t.Errorf("resume executed %s %d times, want %d", e.ID, delta, want)
+		}
+	}
+
+	// A third resume over the now-fully-clean checkpoint skips everything.
+	ckpt3, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt3.Close()
+	cfg.Checkpoint = ckpt3
+	outcomes3, err := RunSuite(context.Background(), exps, o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range outcomes3 {
+		if oc.Status != StatusSkipped {
+			t.Errorf("clean resume: %s = %s, want skipped", oc.ID, oc.Status)
+		}
+	}
+}
+
+// TestRunSuiteResumeInvalidatedByOptions asserts the input hash guards
+// resume: changing run options re-executes despite clean entries.
+func TestRunSuiteResumeInvalidatedByOptions(t *testing.T) {
+	runs := make([]atomic.Int64, 6)
+	exps := acceptanceExps(runs)[:2]
+	ckptPath := filepath.Join(t.TempDir(), "ck.ndjson")
+	ckpt, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SuiteConfig{Workers: 2, Checkpoint: ckpt}
+	if _, err := RunSuite(context.Background(), exps, Options{Quick: true}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+	ckpt2, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	cfg.Checkpoint, cfg.Resume = ckpt2, true
+	outcomes, err := RunSuite(context.Background(), exps, Options{Quick: false}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range outcomes {
+		if oc.Status != StatusOK {
+			t.Errorf("%s = %s, want re-executed ok after option change", oc.ID, oc.Status)
+		}
+	}
+	if got := runs[0].Load(); got != 2 {
+		t.Errorf("good0 executed %d times, want 2", got)
+	}
+}
+
+// TestRunSuiteCancellationFlush cancels mid-suite and asserts the SIGINT
+// contract: RunSuite returns within the 2-second flush budget with every
+// outcome settled and a checkpoint entry per experiment.
+func TestRunSuiteCancellationFlush(t *testing.T) {
+	const n = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	exps := make([]Experiment, n)
+	for i := range exps {
+		id := string(rune('a'+i)) + "-block"
+		exps[i] = Experiment{ID: id, Title: id, Paper: "n/a",
+			Run: func(ctx context.Context, _ Options) (*Result, error) {
+				started.Add(1)
+				<-ctx.Done()
+				return nil, robust.Err(ctx)
+			}}
+	}
+	ckptPath := filepath.Join(t.TempDir(), "ck.ndjson")
+	ckpt, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for started.Load() < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	startAt := time.Now()
+	outcomes, suiteErr := RunSuite(ctx, exps, Options{Quick: true}, SuiteConfig{Workers: 3, Attempts: 3, Checkpoint: ckpt})
+	if wall := time.Since(startAt); wall > 2*time.Second {
+		t.Errorf("RunSuite took %v to drain after cancellation, want under 2s", wall)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if suiteErr == nil || robust.Classify(suiteErr) != robust.Canceled {
+		t.Errorf("suite error %v must classify as Canceled", suiteErr)
+	}
+	for _, oc := range outcomes {
+		if oc.Status != StatusCanceled {
+			t.Errorf("%s = %s, want canceled", oc.ID, oc.Status)
+		}
+		if oc.Attempts > 1 {
+			t.Errorf("%s retried %d times after cancellation; cancellation must not retry", oc.ID, oc.Attempts)
+		}
+	}
+	ckpt2, err := robust.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	for _, e := range exps {
+		entry, ok := ckpt2.Prior(e.ID)
+		if !ok || entry.Status != robust.StatusCanceled {
+			t.Errorf("checkpoint entry for %s = %+v (found %v), want canceled", e.ID, entry, ok)
+		}
+	}
+}
+
+// TestRunSuiteAttemptTimeout pins the distinction between a per-attempt
+// deadline (an ordinary failure, exit code 1) and a user interrupt: the
+// suite error must NOT classify as canceled.
+func TestRunSuiteAttemptTimeout(t *testing.T) {
+	exps := []Experiment{{ID: "slow", Title: "slow", Paper: "n/a",
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
+			select {
+			case <-time.After(5 * time.Second):
+				return &Result{ID: "slow"}, nil
+			case <-ctx.Done():
+				return nil, robust.Err(ctx)
+			}
+		}}}
+	outcomes, err := RunSuite(context.Background(), exps, Options{}, SuiteConfig{Workers: 1, Timeout: 20 * time.Millisecond})
+	if err == nil {
+		t.Fatal("want timeout failure")
+	}
+	if robust.Classify(err) == robust.Canceled {
+		t.Errorf("attempt timeout leaked into cancellation classification: %v", err)
+	}
+	if outcomes[0].Status != StatusFailed {
+		t.Errorf("slow = %s, want failed", outcomes[0].Status)
+	}
+}
+
+// TestInputHash asserts every run option feeds the resume fingerprint.
+func TestInputHash(t *testing.T) {
+	base := InputHash("fig01", Options{})
+	if InputHash("fig02", Options{}) == base {
+		t.Error("hash ignores the experiment id")
+	}
+	if InputHash("fig01", Options{Quick: true}) == base {
+		t.Error("hash ignores Quick")
+	}
+	if InputHash("fig01", Options{Seed: 7}) == base {
+		t.Error("hash ignores Seed")
+	}
+	if InputHash("fig01", Options{Brute: true}) == base {
+		t.Error("hash ignores Brute")
+	}
+	if InputHash("fig01", Options{}) != base {
+		t.Error("hash is not deterministic")
+	}
+}
+
+// TestFaultMatrix sweeps fault plans across every injection point the
+// runner exercises and asserts the invariant the tentpole promises: no
+// fault escapes as a library panic, and the suite always settles every
+// outcome. Under BANDWALL_FAULTS=all (the CI fault-injection job) the
+// matrix broadens to scoped, repeated, and mixed plans.
+func TestFaultMatrix(t *testing.T) {
+	plans := []string{
+		"exp.run=panic",
+		"exp.run=noconverge",
+		"exp.trace=corrupt",
+		"exp.run=domain",
+	}
+	if os.Getenv(robust.EnvFaults) == "all" {
+		plans = append(plans,
+			"exp.run=transient",
+			"exp.run=panic x3",
+			"exp.trace=corrupt x*",
+			"exp.run@good1=panic,exp.trace@good2=corrupt,exp.run@flaky=noconverge",
+			"exp.run=sleep:1ms x*,exp.run@boom=panic",
+			"numeric.root=noconverge",
+			"scaling.solve=domain",
+		)
+	}
+	for _, spec := range plans {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			plan, err := robust.ParsePlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restore := robust.SetInjector(robust.NewInjector(plan, 1))
+			defer restore()
+			runs := make([]atomic.Int64, 6)
+			exps := acceptanceExps(runs)
+			outcomes, _ := RunSuite(context.Background(), exps, Options{Quick: true},
+				SuiteConfig{Workers: 3, Attempts: 2, Backoff: time.Millisecond})
+			if len(outcomes) != len(exps) {
+				t.Fatalf("got %d outcomes, want %d", len(outcomes), len(exps))
+			}
+			for _, oc := range outcomes {
+				if oc.Status == "" {
+					t.Errorf("%s has no settled status", oc.ID)
+				}
+				if oc.Status == StatusCanceled {
+					t.Errorf("%s canceled with no cancellation in the plan", oc.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"repro/internal/power"
 	"repro/internal/render"
 	"repro/internal/technique"
@@ -19,7 +20,7 @@ func table2Exp() Experiment {
 	}
 }
 
-func runTable2(Options) (*Result, error) {
+func runTable2(ctx context.Context, _ Options) (*Result, error) {
 	tb := &render.Table{
 		Title:   "Table 2: memory traffic reduction techniques",
 		Headers: []string{"Technique", "Label", "Category", "Realistic", "Pessimistic", "Optimistic", "Effectiveness", "Range", "Complexity"},

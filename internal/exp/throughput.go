@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/perfsim"
@@ -16,7 +17,7 @@ func extThroughputExp() Experiment {
 	}
 }
 
-func runExtThroughput(o Options) (*Result, error) {
+func runExtThroughput(ctx context.Context, o Options) (*Result, error) {
 	cycles := uint64(400_000)
 	if o.Quick {
 		cycles = 120_000

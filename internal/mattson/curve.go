@@ -1,11 +1,13 @@
 package mattson
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"repro/internal/cachesim"
+	"repro/internal/robust"
 	"repro/internal/trace"
 )
 
@@ -43,6 +45,13 @@ func Eligible(base cachesim.Config) bool {
 // cachesim.MissCurve. Simulated work is published to the obs registry
 // under the usual cachesim.* counter names either way.
 func MissCurveFast(gen trace.Generator, base cachesim.Config, sizes []int, warmup, n int) ([]cachesim.CurvePoint, error) {
+	return MissCurveFastCtx(context.Background(), gen, base, sizes, warmup, n)
+}
+
+// MissCurveFastCtx is MissCurveFast with cancellation checked at chunk
+// boundaries of the streaming pass (every chunkAccesses accesses), so a
+// canceled sweep aborts within one chunk instead of draining the stream.
+func MissCurveFastCtx(ctx context.Context, gen trace.Generator, base cachesim.Config, sizes []int, warmup, n int) ([]cachesim.CurvePoint, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("mattson: no sizes to sweep")
 	}
@@ -67,18 +76,18 @@ func MissCurveFast(gen trace.Generator, base cachesim.Config, sizes []int, warmu
 	if !Eligible(base) {
 		// The general simulator needs a materialized trace; it publishes
 		// its own obs counters via RunTrace's flush.
-		return cachesim.MissCurve(trace.Collect(gen, n), base, sizes, warmup)
+		return cachesim.MissCurveCtx(ctx, trace.Collect(gen, n), base, sizes, warmup)
 	}
 	if base.Assoc == 0 {
-		return faCurve(gen, cfgs, warmup, n)
+		return faCurve(ctx, gen, cfgs, warmup, n)
 	}
-	return setCurve(gen, cfgs, warmup, n)
+	return setCurve(ctx, gen, cfgs, warmup, n)
 }
 
 // faCurve profiles fully-associative sizes via one reuse-distance
 // histogram: a single stack pass, then each size's miss count is a suffix
 // sum.
-func faCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
+func faCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
 	lineShift := uint(bits.TrailingZeros(uint(cfgs[0].LineBytes)))
 	maxLines := 0
 	for _, cfg := range cfgs {
@@ -88,9 +97,19 @@ func faCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cach
 	}
 	p := NewProfiler(maxLines, n)
 	for i := 0; i < warmup; i++ {
+		if i%chunkAccesses == 0 {
+			if err := robust.Err(ctx); err != nil {
+				return nil, err
+			}
+		}
 		p.Skip(gen.Next().Addr >> lineShift)
 	}
 	for i := warmup; i < n; i++ {
+		if (i-warmup)%chunkAccesses == 0 {
+			if err := robust.Err(ctx); err != nil {
+				return nil, err
+			}
+		}
 		p.Record(gen.Next().Addr >> lineShift)
 	}
 	hist := p.Hist()
@@ -123,7 +142,7 @@ const chunkAccesses = 4096
 // the followers' lookups. Leftover sizes run the single-profiler packed
 // loop. Batcher generators (trace replays) hand chunks out as zero-copy
 // sub-slices.
-func setCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
+func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
 	profs := make([]*SetProfiler, len(cfgs))
 	for i, cfg := range cfgs {
 		p, err := NewSetProfiler(cfg)
@@ -167,8 +186,11 @@ func setCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cac
 	if batcher == nil {
 		buf = make([]trace.Access, chunkAccesses)
 	}
-	feed := func(count int) {
+	feed := func(count int) error {
 		for count > 0 {
+			if err := robust.Err(ctx); err != nil {
+				return err
+			}
 			var batch []trace.Access
 			if batcher != nil {
 				batch = batcher.Batch(min(count, chunkAccesses))
@@ -192,12 +214,17 @@ func setCurve(gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cac
 			}
 			count -= len(batch)
 		}
+		return nil
 	}
-	feed(warmup)
+	if err := feed(warmup); err != nil {
+		return nil, err
+	}
 	for _, p := range profs {
 		p.ResetStats()
 	}
-	feed(n - warmup)
+	if err := feed(n - warmup); err != nil {
+		return nil, err
+	}
 	out := make([]cachesim.CurvePoint, len(cfgs))
 	for i, p := range profs {
 		st := p.Stats()

@@ -198,7 +198,7 @@ func TestMissCurveFastMatchesBruteOnFig1Suite(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := MissCurveFast(trace.NewReplayer(tr), base, sizes, warmup, n)
+		fast, err := MissCurveFast(trace.MustReplayer(tr), base, sizes, warmup, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func TestMissCurveFastFullyAssociative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := MissCurveFast(trace.NewReplayer(tr), base, sizes, warmup, n)
+	fast, err := MissCurveFast(trace.MustReplayer(tr), base, sizes, warmup, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestMissCurveFastFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := MissCurveFast(trace.NewReplayer(tr), base, sizes, warmup, n)
+	fast, err := MissCurveFast(trace.MustReplayer(tr), base, sizes, warmup, n)
 	if err != nil {
 		t.Fatal(err)
 	}

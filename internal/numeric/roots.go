@@ -4,22 +4,50 @@
 // basic descriptive statistics.
 //
 // Everything here is deterministic and allocation-free on the hot paths so
-// the scaling solver can be called inside tight parameter sweeps.
+// the scaling solver can be called inside tight parameter sweeps. Every
+// iterative method has a context-aware variant (BisectCtx, BrentCtx,
+// NewtonCtx) that checks for cancellation once per iteration; the
+// plain-named versions run uncancellable. RobustRoot layers a degradation
+// ladder on top: Brent first, then automatic bracket expansion, then
+// unconditional bisection.
 package numeric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/robust"
 )
 
+// taxonomyError is a sentinel with a clean message whose Unwrap links it
+// into the robust error taxonomy, so errors.Is matches both the local
+// sentinel and the taxonomy class.
+type taxonomyError struct {
+	msg   string
+	under error
+}
+
+func (e *taxonomyError) Error() string { return e.msg }
+func (e *taxonomyError) Unwrap() error { return e.under }
+
 // ErrNoBracket is returned by root finders when the supplied interval does
-// not bracket a sign change of the function.
-var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+// not bracket a sign change of the function. It classifies as a domain
+// error (robust.ErrDomain).
+var ErrNoBracket error = &taxonomyError{
+	msg:   "numeric: interval does not bracket a root",
+	under: robust.ErrDomain,
+}
 
 // ErrNoConverge is returned when an iterative method exhausts its iteration
-// budget without meeting the requested tolerance.
-var ErrNoConverge = errors.New("numeric: iteration did not converge")
+// budget without meeting the requested tolerance. It classifies as
+// transient (robust.ErrNoConvergence): a retry after degradation to a
+// sturdier method may succeed.
+var ErrNoConverge error = &taxonomyError{
+	msg:   "numeric: iteration did not converge",
+	under: robust.ErrNoConvergence,
+}
 
 // DefaultTol is the convergence tolerance used when a caller passes tol <= 0.
 const DefaultTol = 1e-12
@@ -31,6 +59,11 @@ const maxIter = 200
 // opposite signs. It converges unconditionally but only linearly; prefer
 // Brent for production use. tol <= 0 selects DefaultTol.
 func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	return BisectCtx(context.Background(), f, a, b, tol)
+}
+
+// BisectCtx is Bisect with cancellation checked once per iteration.
+func BisectCtx(ctx context.Context, f func(float64) float64, a, b, tol float64) (float64, error) {
 	if tol <= 0 {
 		tol = DefaultTol
 	}
@@ -48,6 +81,10 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
 	}
 	for i := 0; i < maxIter; i++ {
+		if err := robust.Err(ctx); err != nil {
+			observeIters(obsBisectIters, i)
+			return 0, err
+		}
 		mid := 0.5 * (a + b)
 		fm := f(mid)
 		if fm == 0 || (b-a)/2 < tol {
@@ -69,6 +106,11 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 // interpolation with bisection fallback). f(a) and f(b) must have opposite
 // signs. tol <= 0 selects DefaultTol.
 func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	return BrentCtx(context.Background(), f, a, b, tol)
+}
+
+// BrentCtx is Brent with cancellation checked once per iteration.
+func BrentCtx(ctx context.Context, f func(float64) float64, a, b, tol float64) (float64, error) {
 	if tol <= 0 {
 		tol = DefaultTol
 	}
@@ -94,6 +136,10 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < maxIter; i++ {
+		if err := robust.Err(ctx); err != nil {
+			observeIters(obsBrentIters, i)
+			return 0, err
+		}
 		if fb == 0 || math.Abs(b-a) < tol {
 			observeIters(obsBrentIters, i)
 			return b, nil
@@ -144,11 +190,20 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 // supplied analytic derivative df. It fails fast if the derivative vanishes
 // or iterates diverge. tol <= 0 selects DefaultTol.
 func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	return NewtonCtx(context.Background(), f, df, x0, tol)
+}
+
+// NewtonCtx is Newton with cancellation checked once per iteration.
+func NewtonCtx(ctx context.Context, f, df func(float64) float64, x0, tol float64) (float64, error) {
 	if tol <= 0 {
 		tol = DefaultTol
 	}
 	x := x0
 	for i := 0; i < maxIter; i++ {
+		if err := robust.Err(ctx); err != nil {
+			observeIters(obsNewtonIters, i)
+			return 0, err
+		}
 		fx := f(x)
 		if math.Abs(fx) < tol {
 			observeIters(obsNewtonIters, i)
@@ -192,4 +247,39 @@ func BracketUp(f func(float64) float64, a, b float64) (lo, hi float64, err error
 	}
 	observeBracketFailure()
 	return 0, 0, ErrNoBracket
+}
+
+// RobustRoot is the degradation ladder the fault-tolerant pipeline solves
+// through: Brent first; on a bracket failure, automatic geometric bracket
+// expansion (BracketUp) and one more Brent attempt; on non-convergence
+// (including injected transient faults at the "numeric.root" point),
+// unconditional bisection over the original interval. Cancellation aborts
+// immediately at every rung. Each engaged fallback bumps the
+// robust.degradations counter.
+func RobustRoot(ctx context.Context, f func(float64) float64, a, b, tol float64) (float64, error) {
+	root, err := func() (float64, error) {
+		if ierr := robust.Hit(ctx, "numeric.root"); ierr != nil {
+			return 0, ierr
+		}
+		return BrentCtx(ctx, f, a, b, tol)
+	}()
+	if err == nil {
+		return root, nil
+	}
+	if robust.Classify(err) == robust.Canceled {
+		return 0, err
+	}
+	if errors.Is(err, ErrNoBracket) {
+		lo, hi, berr := BracketUp(f, a, b)
+		if berr != nil {
+			return 0, err // expansion could not help; report the original failure
+		}
+		robust.CountDegradation()
+		return BrentCtx(ctx, f, lo, hi, tol)
+	}
+	if robust.Classify(err) == robust.Transient {
+		robust.CountDegradation()
+		return BisectCtx(ctx, f, a, b, tol)
+	}
+	return 0, err
 }

@@ -9,6 +9,32 @@
 // construction seed always yields the same structure.
 package ranklist
 
+import (
+	"fmt"
+
+	"repro/internal/robust"
+)
+
+// ErrRank is the typed error for out-of-range rank arguments. The
+// panicking accessors (At, RemoveAt, MoveToFront — kept panicking to
+// match slice semantics on the profiler hot paths) panic with an error
+// wrapping it, so a recover barrier that contains the panic still yields
+// a classifiable error; the Try variants return it directly. It
+// classifies as a domain error (robust.ErrDomain).
+var ErrRank error = &rankError{}
+
+// rankError keeps ErrRank's message clean while Unwrap links it into the
+// robust taxonomy.
+type rankError struct{}
+
+func (*rankError) Error() string { return "ranklist: rank out of range" }
+func (*rankError) Unwrap() error { return robust.ErrDomain }
+
+// rangeErr builds the panic/return value for an out-of-range rank.
+func rangeErr(i, n int) error {
+	return fmt.Errorf("%w: rank %d with %d elements", ErrRank, i, n)
+}
+
 // node is one treap node holding a value; subtree sizes support rank ops.
 type node struct {
 	val         uint64
@@ -93,10 +119,10 @@ func (l *List) PushFront(v uint64) {
 }
 
 // At returns the value at rank i (0-based). It panics if i is out of range,
-// matching slice semantics.
+// matching slice semantics; the panic value is an error wrapping ErrRank.
 func (l *List) At(i int) uint64 {
 	if i < 0 || i >= l.Len() {
-		panic("ranklist: rank out of range")
+		panic(rangeErr(i, l.Len()))
 	}
 	n := l.root
 	for {
@@ -114,10 +140,10 @@ func (l *List) At(i int) uint64 {
 }
 
 // RemoveAt removes and returns the value at rank i. It panics if i is out
-// of range.
+// of range; the panic value is an error wrapping ErrRank.
 func (l *List) RemoveAt(i int) uint64 {
 	if i < 0 || i >= l.Len() {
-		panic("ranklist: rank out of range")
+		panic(rangeErr(i, l.Len()))
 	}
 	a, rest := split(l.root, i)
 	mid, b := split(rest, 1)
@@ -126,7 +152,8 @@ func (l *List) RemoveAt(i int) uint64 {
 }
 
 // MoveToFront removes the element at rank i and reinserts it at rank 0,
-// returning its value — the LRU "touch" operation.
+// returning its value — the LRU "touch" operation. It panics like At on an
+// out-of-range rank.
 func (l *List) MoveToFront(i int) uint64 {
 	if i == 0 {
 		return l.At(0)
@@ -134,6 +161,31 @@ func (l *List) MoveToFront(i int) uint64 {
 	v := l.RemoveAt(i)
 	l.PushFront(v)
 	return v
+}
+
+// TryAt is At with an error return instead of a panic: callers that take
+// ranks from untrusted input get a typed ErrRank without a recover.
+func (l *List) TryAt(i int) (uint64, error) {
+	if i < 0 || i >= l.Len() {
+		return 0, rangeErr(i, l.Len())
+	}
+	return l.At(i), nil
+}
+
+// TryRemoveAt is RemoveAt with an error return instead of a panic.
+func (l *List) TryRemoveAt(i int) (uint64, error) {
+	if i < 0 || i >= l.Len() {
+		return 0, rangeErr(i, l.Len())
+	}
+	return l.RemoveAt(i), nil
+}
+
+// TryMoveToFront is MoveToFront with an error return instead of a panic.
+func (l *List) TryMoveToFront(i int) (uint64, error) {
+	if i < 0 || i >= l.Len() {
+		return 0, rangeErr(i, l.Len())
+	}
+	return l.MoveToFront(i), nil
 }
 
 // RankOfDesc returns the rank (0-based position) of value v, assuming the

@@ -1,0 +1,87 @@
+package ranklist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/robust"
+)
+
+// recoverErr runs fn and returns the recovered panic value as an error.
+func recoverErr(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e, ok := v.(error)
+			if !ok {
+				err = errors.New("panic value is not an error")
+				return
+			}
+			err = e
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestRangePanicsAreTyped pins the regression the taxonomy fixes: an
+// out-of-range rank used to panic with a bare runtime error (nil
+// dereference deep in the treap); now every range panic carries ErrRank,
+// which classifies as a permanent domain error so the runner's panic
+// barrier can report it meaningfully.
+func TestRangePanicsAreTyped(t *testing.T) {
+	l := New(1)
+	l.PushFront(10)
+	cases := map[string]func(){
+		"At(-1)":         func() { l.At(-1) },
+		"At(len)":        func() { l.At(l.Len()) },
+		"RemoveAt(-1)":   func() { l.RemoveAt(-1) },
+		"RemoveAt(len)":  func() { l.RemoveAt(l.Len()) },
+		"MoveToFront(9)": func() { l.MoveToFront(9) },
+		"empty.At(0)":    func() { New(2).At(0) },
+	}
+	for name, fn := range cases {
+		err := recoverErr(fn)
+		if err == nil {
+			t.Errorf("%s did not panic", name)
+			continue
+		}
+		if !errors.Is(err, ErrRank) {
+			t.Errorf("%s panic value %v does not wrap ErrRank", name, err)
+		}
+		if !errors.Is(err, robust.ErrDomain) {
+			t.Errorf("%s panic value %v does not classify as robust.ErrDomain", name, err)
+		}
+	}
+}
+
+// TestTryVariants covers the non-panicking accessors.
+func TestTryVariants(t *testing.T) {
+	l := New(1)
+	l.PushFront(30)
+	l.PushFront(20)
+	l.PushFront(10)
+	if v, err := l.TryAt(1); err != nil || v != 20 {
+		t.Errorf("TryAt(1) = %d, %v", v, err)
+	}
+	if _, err := l.TryAt(3); !errors.Is(err, ErrRank) {
+		t.Errorf("TryAt(3) err = %v, want ErrRank", err)
+	}
+	if v, err := l.TryMoveToFront(2); err != nil || v != 30 {
+		t.Errorf("TryMoveToFront(2) = %d, %v", v, err)
+	}
+	if got := l.Slice(); got[0] != 30 {
+		t.Errorf("after TryMoveToFront: %v", got)
+	}
+	if v, err := l.TryRemoveAt(0); err != nil || v != 30 {
+		t.Errorf("TryRemoveAt(0) = %d, %v", v, err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d after remove, want 2", l.Len())
+	}
+	if _, err := l.TryRemoveAt(-1); !errors.Is(err, ErrRank) {
+		t.Errorf("TryRemoveAt(-1) err = %v, want ErrRank", err)
+	}
+	if _, err := l.TryMoveToFront(7); !errors.Is(err, ErrRank) {
+		t.Errorf("TryMoveToFront(7) err = %v, want ErrRank", err)
+	}
+}

@@ -1,0 +1,137 @@
+package robust
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+)
+
+// Checkpointing: `run all` appends one NDJSON line per finished
+// experiment so an interrupted suite can resume. The log is append-only
+// — a resumed run appends new entries rather than rewriting, and the
+// LAST entry per experiment id wins. Every append is flushed and synced
+// before returning, so a SIGINT between experiments loses nothing.
+//
+// Line shape (kind discriminator matches the obs NDJSON convention):
+//
+//	{"kind":"checkpoint","id":"fig02","input_hash":"a1b2…","status":"ok",
+//	 "digest":"c3d4…","attempts":1,"wall_ms":12.5}
+//
+// input_hash covers everything that determines an experiment's output
+// (id plus the run options); resume skips an experiment only when its
+// prior entry is status "ok" AND the hash still matches, so changing
+// -quick or -seed between runs re-executes everything.
+
+// Checkpoint statuses.
+const (
+	StatusOK       = "ok"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// CheckpointEntry is one checkpoint line.
+type CheckpointEntry struct {
+	Kind      string  `json:"kind"` // always "checkpoint"
+	ID        string  `json:"id"`
+	InputHash string  `json:"input_hash"`
+	Status    string  `json:"status"`
+	Digest    string  `json:"digest,omitempty"` // result digest for ok entries
+	Attempts  int     `json:"attempts,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+}
+
+// CheckpointLog is an open, append-only checkpoint file plus the index
+// of entries that existed when it was opened. Safe for concurrent use.
+type CheckpointLog struct {
+	mu    sync.Mutex
+	f     *os.File
+	prior map[string]CheckpointEntry
+}
+
+// OpenCheckpoint opens (creating if needed) the checkpoint file at path,
+// loading any prior entries. Unparseable lines are skipped rather than
+// fatal — a half-written trailing line after a crash must not block
+// resume.
+func OpenCheckpoint(path string) (*CheckpointLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("robust: checkpoint: %w", err)
+	}
+	l := &CheckpointLog{f: f, prior: make(map[string]CheckpointEntry)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e CheckpointEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Kind != "checkpoint" || e.ID == "" {
+			continue
+		}
+		l.prior[e.ID] = e // last entry per id wins
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("robust: checkpoint: reading %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Prior returns the entry recorded for id when the log was opened.
+func (l *CheckpointLog) Prior(id string) (CheckpointEntry, bool) {
+	if l == nil {
+		return CheckpointEntry{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.prior[id]
+	return e, ok
+}
+
+// CleanMatch reports whether id completed successfully under the same
+// input hash in a prior run — the resume skip condition.
+func (l *CheckpointLog) CleanMatch(id, inputHash string) bool {
+	e, ok := l.Prior(id)
+	return ok && e.Status == StatusOK && e.InputHash == inputHash
+}
+
+// Append writes one entry, flushed and synced before returning.
+func (l *CheckpointLog) Append(e CheckpointEntry) error {
+	if l == nil {
+		return nil
+	}
+	e.Kind = "checkpoint"
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("robust: checkpoint: %w", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("robust: checkpoint: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *CheckpointLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// HashStrings fingerprints an ordered list of strings (FNV-64a, hex) —
+// the input-hash and result-digest helper.
+func HashStrings(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // unambiguous separator
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,57 @@
+package robust
+
+import "repro/internal/obs"
+
+// Metric names published by this package. Counters are fetched through
+// the process-default obs registry on each event — robustness events are
+// rare (retries, panics, skips), so the map lookup is irrelevant and the
+// nil-registry fast path keeps the disabled cost at zero.
+const (
+	// MetricRetries counts retry attempts (not first tries).
+	MetricRetries = "robust.retries"
+	// MetricRecoveredPanics counts panics contained by Recover/Safe.
+	MetricRecoveredPanics = "robust.recovered_panics"
+	// MetricCanceled counts experiments abandoned due to cancellation.
+	MetricCanceled = "robust.canceled"
+	// MetricCheckpointSkips counts experiments skipped on resume because
+	// a clean checkpoint entry with a matching input hash existed.
+	MetricCheckpointSkips = "robust.checkpoint.skips"
+	// MetricFaultsInjected counts faults fired by the injector.
+	MetricFaultsInjected = "robust.faults.injected"
+	// MetricDegradations counts degradation-ladder fallbacks (a sturdier
+	// algorithm engaged after the primary one failed).
+	MetricDegradations = "robust.degradations"
+)
+
+// RegisterObs pre-registers this package's metric names on reg so
+// snapshots have a stable shape even when a run never retries, recovers,
+// or skips anything.
+func RegisterObs(reg *obs.Registry) {
+	for _, name := range []string{
+		MetricRetries,
+		MetricRecoveredPanics,
+		MetricCanceled,
+		MetricCheckpointSkips,
+		MetricFaultsInjected,
+		MetricDegradations,
+	} {
+		reg.Counter(name)
+	}
+}
+
+func counterRetries() *obs.Counter         { return obs.Default().Counter(MetricRetries) }
+func counterRecoveredPanics() *obs.Counter { return obs.Default().Counter(MetricRecoveredPanics) }
+func counterCanceled() *obs.Counter        { return obs.Default().Counter(MetricCanceled) }
+func counterCheckpointSkips() *obs.Counter { return obs.Default().Counter(MetricCheckpointSkips) }
+func counterFaultsInjected() *obs.Counter  { return obs.Default().Counter(MetricFaultsInjected) }
+func counterDegradations() *obs.Counter    { return obs.Default().Counter(MetricDegradations) }
+
+// CountCanceled bumps the canceled-experiments counter (called by the
+// suite runner; exported so the counting stays in one namespace).
+func CountCanceled() { counterCanceled().Inc() }
+
+// CountCheckpointSkip bumps the checkpoint-skip counter.
+func CountCheckpointSkip() { counterCheckpointSkips().Inc() }
+
+// CountDegradation bumps the degradation-ladder counter.
+func CountDegradation() { counterDegradations().Inc() }

@@ -9,11 +9,13 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/numeric"
 	"repro/internal/power"
+	"repro/internal/robust"
 	"repro/internal/technique"
 )
 
@@ -66,15 +68,27 @@ func (s Solver) Traffic(st technique.Stack, n2, p2 float64) float64 {
 // budget is the paper's B: 1 for a constant traffic envelope, 1.5 for the
 // optimistic 50%-per-generation growth of §5.1.
 func (s Solver) SupportableCores(st technique.Stack, n2, budget float64) (float64, error) {
+	return s.SupportableCoresCtx(context.Background(), st, n2, budget)
+}
+
+// SupportableCoresCtx is SupportableCores with cancellation propagated
+// into the root finder and fault injection at the "scaling.solve" point.
+// Domain violations (non-positive areas or budgets, unreachable budgets,
+// invalid stacks) wrap robust.ErrDomain; solver failures go through
+// numeric.RobustRoot's degradation ladder before being reported.
+func (s Solver) SupportableCoresCtx(ctx context.Context, st technique.Stack, n2, budget float64) (float64, error) {
+	if err := robust.Hit(ctx, "scaling.solve"); err != nil {
+		return 0, err
+	}
 	if !(n2 > 0) {
-		return 0, fmt.Errorf("scaling: chip area n2 must be positive, got %g", n2)
+		return 0, fmt.Errorf("scaling: chip area n2 must be positive, got %g: %w", n2, robust.ErrDomain)
 	}
 	if !(budget > 0) {
-		return 0, fmt.Errorf("scaling: traffic budget must be positive, got %g", budget)
+		return 0, fmt.Errorf("scaling: traffic budget must be positive, got %g: %w", budget, robust.ErrDomain)
 	}
 	pm := st.Params()
 	if err := pm.Validate(); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", err, robust.ErrDomain)
 	}
 	// Cores fit while on-die cache CEAs stay non-negative: p ≤ pMax, the
 	// geometric limit of the processor die.
@@ -95,12 +109,12 @@ func (s Solver) SupportableCores(st technique.Stack, n2, budget float64) (float6
 	if flo > 0 {
 		// Even a near-zero-core chip exceeds the budget (degenerate: budget
 		// below the traffic of an almost-pure-cache chip).
-		return 0, fmt.Errorf("scaling: budget %g unreachable on %g CEAs (min traffic %g)", budget, n2, flo+budget)
+		return 0, fmt.Errorf("scaling: budget %g unreachable on %g CEAs (min traffic %g): %w", budget, n2, flo+budget, robust.ErrDomain)
 	}
 	if fhi < 0 {
 		return hi, nil
 	}
-	root, err := numeric.Brent(f, lo, hi, 1e-10)
+	root, err := numeric.RobustRoot(ctx, f, lo, hi, 1e-10)
 	if err != nil {
 		return 0, fmt.Errorf("scaling: solving cores for %s on %g CEAs: %w", st.Label(), n2, err)
 	}
@@ -111,7 +125,13 @@ func (s Solver) SupportableCores(st technique.Stack, n2, budget float64) (float6
 // budget: ⌊SupportableCores⌋, clamped to at least 0. This matches how the
 // paper reads integer core counts off the model (e.g. "only 11 cores").
 func (s Solver) MaxCores(st technique.Stack, n2, budget float64) (int, error) {
-	p, err := s.SupportableCores(st, n2, budget)
+	return s.MaxCoresCtx(context.Background(), st, n2, budget)
+}
+
+// MaxCoresCtx is MaxCores with cancellation and fault injection (see
+// SupportableCoresCtx).
+func (s Solver) MaxCoresCtx(ctx context.Context, st technique.Stack, n2, budget float64) (int, error) {
+	p, err := s.SupportableCoresCtx(ctx, st, n2, budget)
 	if err != nil {
 		return 0, err
 	}

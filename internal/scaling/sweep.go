@@ -1,10 +1,12 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/numeric"
+	"repro/internal/robust"
 	"repro/internal/technique"
 )
 
@@ -57,14 +59,23 @@ type GenPoint struct {
 // generation g may use budgetPerGen^g × baseline traffic (budgetPerGen = 1
 // reproduces the paper's constant-traffic envelope).
 func (s Solver) SweepGenerations(st technique.Stack, gens []Generation, budgetPerGen float64) ([]GenPoint, error) {
+	return s.SweepGenerationsCtx(context.Background(), st, gens, budgetPerGen)
+}
+
+// SweepGenerationsCtx is SweepGenerations with cancellation checked once
+// per generation (each generation is one solver batch).
+func (s Solver) SweepGenerationsCtx(ctx context.Context, st technique.Stack, gens []Generation, budgetPerGen float64) ([]GenPoint, error) {
 	out := make([]GenPoint, 0, len(gens))
 	for _, g := range gens {
+		if err := robust.Err(ctx); err != nil {
+			return nil, err
+		}
 		budget := math.Pow(budgetPerGen, float64(g.Index))
-		exact, err := s.SupportableCores(st, g.N, budget)
+		exact, err := s.SupportableCoresCtx(ctx, st, g.N, budget)
 		if err != nil {
 			return nil, fmt.Errorf("scaling: generation %s: %w", g, err)
 		}
-		cores, err := s.MaxCores(st, g.N, budget)
+		cores, err := s.MaxCoresCtx(ctx, st, g.N, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -91,12 +102,21 @@ type Candle struct {
 // SweepCandles evaluates a stack-family across generations under all three
 // assumptions. build maps an assumption to the concrete stack.
 func (s Solver) SweepCandles(build func(technique.Assumption) technique.Stack, gens []Generation, budget float64) ([]Candle, error) {
+	return s.SweepCandlesCtx(context.Background(), build, gens, budget)
+}
+
+// SweepCandlesCtx is SweepCandles with cancellation checked once per
+// generation.
+func (s Solver) SweepCandlesCtx(ctx context.Context, build func(technique.Assumption) technique.Stack, gens []Generation, budget float64) ([]Candle, error) {
 	out := make([]Candle, 0, len(gens))
 	for _, g := range gens {
+		if err := robust.Err(ctx); err != nil {
+			return nil, err
+		}
 		var c Candle
 		c.Gen = g
 		for _, a := range technique.Assumptions {
-			cores, err := s.MaxCores(build(a), g.N, budget)
+			cores, err := s.MaxCoresCtx(ctx, build(a), g.N, budget)
 			if err != nil {
 				return nil, fmt.Errorf("scaling: %s at %s: %w", a, g, err)
 			}
@@ -122,13 +142,25 @@ func (s Solver) EnvelopeIntersection(n2, budget float64) (float64, error) {
 	return s.SupportableCores(technique.Combine(), n2, budget)
 }
 
+// EnvelopeIntersectionCtx is EnvelopeIntersection with cancellation and
+// fault injection.
+func (s Solver) EnvelopeIntersectionCtx(ctx context.Context, n2, budget float64) (float64, error) {
+	return s.SupportableCoresCtx(ctx, technique.Combine(), n2, budget)
+}
+
 // BreakEvenSharing returns the data-sharing fraction f_sh at which p2 cores
 // on an n2-CEA chip (with C2 = N2 − P2 shared cache) generate exactly
 // budget × baseline traffic (Fig 13's 100% crossings). It returns an error
 // if even full sharing (f_sh → 1) cannot meet the budget.
 func (s Solver) BreakEvenSharing(n2, p2, budget float64) (float64, error) {
+	return s.BreakEvenSharingCtx(context.Background(), n2, p2, budget)
+}
+
+// BreakEvenSharingCtx is BreakEvenSharing with cancellation propagated
+// into the root finder; domain violations wrap robust.ErrDomain.
+func (s Solver) BreakEvenSharingCtx(ctx context.Context, n2, p2, budget float64) (float64, error) {
 	if !(p2 > 0) || p2 >= n2 {
-		return 0, fmt.Errorf("scaling: cores p2=%g must be in (0, n2=%g)", p2, n2)
+		return 0, fmt.Errorf("scaling: cores p2=%g must be in (0, n2=%g): %w", p2, n2, robust.ErrDomain)
 	}
 	f := func(fsh float64) float64 {
 		st := technique.Combine(technique.DataSharing{SharedFrac: fsh})
@@ -139,9 +171,9 @@ func (s Solver) BreakEvenSharing(n2, p2, budget float64) (float64, error) {
 	}
 	const hi = 1 - 1e-9
 	if f(hi) > 0 {
-		return 0, fmt.Errorf("scaling: %g cores on %g CEAs exceed budget %g even with full sharing", p2, n2, budget)
+		return 0, fmt.Errorf("scaling: %g cores on %g CEAs exceed budget %g even with full sharing: %w", p2, n2, budget, robust.ErrDomain)
 	}
-	root, err := numeric.Brent(f, 0, hi, 1e-10)
+	root, err := numeric.RobustRoot(ctx, f, 0, hi, 1e-10)
 	if err != nil {
 		return 0, err
 	}

@@ -2,10 +2,12 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/robust"
 )
 
 // Binary trace format:
@@ -21,8 +23,29 @@ import (
 
 var magic = [4]byte{'B', 'W', 'T', '1'}
 
-// ErrBadMagic indicates the reader input is not a trace stream.
-var ErrBadMagic = errors.New("trace: bad magic (not a BWT1 stream)")
+// taxonomyError is a sentinel whose Unwrap links it into the robust
+// error taxonomy while keeping a clean message.
+type taxonomyError struct {
+	msg   string
+	under error
+}
+
+func (e *taxonomyError) Error() string { return e.msg }
+func (e *taxonomyError) Unwrap() error { return e.under }
+
+// ErrBadMagic indicates the reader input is not a trace stream. It
+// classifies as corrupt-trace (robust.ErrCorruptTrace).
+var ErrBadMagic error = &taxonomyError{
+	msg:   "trace: bad magic (not a BWT1 stream)",
+	under: robust.ErrCorruptTrace,
+}
+
+// ErrEmptyTrace is returned by NewReplayer for a zero-length trace: there
+// is nothing to replay. It classifies as a domain error.
+var ErrEmptyTrace error = &taxonomyError{
+	msg:   "trace: cannot replay an empty trace",
+	under: robust.ErrDomain,
+}
 
 // maxTID is the largest thread id the codec can represent.
 const maxTID = 127
@@ -60,34 +83,39 @@ func Write(w io.Writer, as []Access) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace stream written by Write.
+// Read decodes a trace stream written by Write. Decode failures wrap
+// robust.ErrCorruptTrace so the pipeline classifies them permanently.
+// The "trace.read" fault-injection point fires before decoding.
 func Read(r io.Reader) ([]Access, error) {
+	if err := robust.Hit(context.Background(), "trace.read"); err != nil {
+		return nil, err
+	}
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic: %w: %w", robust.ErrCorruptTrace, err)
 	}
 	if m != magic {
 		return nil, ErrBadMagic
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, fmt.Errorf("trace: reading count: %w: %w", robust.ErrCorruptTrace, err)
 	}
 	const maxReasonable = 1 << 30
 	if count > maxReasonable {
-		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+		return nil, fmt.Errorf("trace: unreasonable record count %d: %w", count, robust.ErrCorruptTrace)
 	}
 	out := make([]Access, 0, count)
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
 		flags, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d flags: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d flags: %w: %w", i, robust.ErrCorruptTrace, err)
 		}
 		delta, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d delta: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d delta: %w: %w", i, robust.ErrCorruptTrace, err)
 		}
 		prev += uint64(delta)
 		out = append(out, Access{
@@ -105,13 +133,24 @@ type Replayer struct {
 	pos      int
 }
 
-// NewReplayer wraps accesses in a looping Generator. It panics on an empty
-// trace (there is nothing to replay).
-func NewReplayer(accesses []Access) *Replayer {
+// NewReplayer wraps accesses in a looping Generator. An empty trace
+// yields ErrEmptyTrace — there is nothing to replay.
+func NewReplayer(accesses []Access) (*Replayer, error) {
 	if len(accesses) == 0 {
-		panic("trace: cannot replay an empty trace")
+		return nil, ErrEmptyTrace
 	}
-	return &Replayer{accesses: accesses}
+	return &Replayer{accesses: accesses}, nil
+}
+
+// MustReplayer is NewReplayer for known-non-empty traces; it panics with
+// ErrEmptyTrace otherwise. Intended for tests and benchmarks where the
+// trace was just materialized.
+func MustReplayer(accesses []Access) *Replayer {
+	r, err := NewReplayer(accesses)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // Next implements Generator.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/robust"
 )
 
 func TestAccessLine(t *testing.T) {
@@ -201,7 +203,7 @@ func TestCodecQuickRoundTrip(t *testing.T) {
 
 func TestReplayerLoops(t *testing.T) {
 	as := []Access{{Addr: 64}, {Addr: 128}}
-	r := NewReplayer(as)
+	r := MustReplayer(as)
 	if r.Len() != 2 {
 		t.Errorf("Len = %d", r.Len())
 	}
@@ -213,13 +215,26 @@ func TestReplayerLoops(t *testing.T) {
 	}
 }
 
-func TestReplayerPanicsOnEmpty(t *testing.T) {
+func TestReplayerEmpty(t *testing.T) {
+	// The regression this guards: an empty trace used to panic deep inside
+	// Next; now it is a typed construction-time error in the taxonomy.
+	r, err := NewReplayer(nil)
+	if r != nil || !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("NewReplayer(nil) = %v, %v; want nil, ErrEmptyTrace", r, err)
+	}
+	if !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("ErrEmptyTrace does not classify as robust.ErrDomain: %v", err)
+	}
+	// MustReplayer keeps the panic behavior for static test fixtures, but
+	// with the typed sentinel as the panic value.
 	defer func() {
-		if recover() == nil {
-			t.Error("no panic for empty trace")
+		v := recover()
+		pe, ok := v.(error)
+		if !ok || !errors.Is(pe, ErrEmptyTrace) {
+			t.Errorf("MustReplayer(nil) panicked with %v, want ErrEmptyTrace", v)
 		}
 	}()
-	NewReplayer(nil)
+	MustReplayer(nil)
 }
 
 func TestCollectInto(t *testing.T) {
@@ -246,7 +261,7 @@ func TestCollectInto(t *testing.T) {
 
 func TestReplayerBatch(t *testing.T) {
 	as := []Access{{Addr: 64}, {Addr: 128}, {Addr: 192}}
-	r := NewReplayer(as)
+	r := MustReplayer(as)
 	b := r.Batch(2)
 	if len(b) != 2 || b[0].Addr != 64 || &b[0] != &as[0] {
 		t.Fatalf("first batch = %v (zero-copy: %v)", b, &b[0] == &as[0])

@@ -31,7 +31,7 @@ var masterTrace = sync.OnceValue(func() []trace.Access {
 
 func BenchmarkMissCurveBrute(b *testing.B) {
 	bc := mattson.QuickFig1Bench()
-	stream := trace.NewReplayer(masterTrace())
+	stream := trace.MustReplayer(masterTrace())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,7 +43,7 @@ func BenchmarkMissCurveBrute(b *testing.B) {
 
 func BenchmarkMissCurveMattson(b *testing.B) {
 	bc := mattson.QuickFig1Bench()
-	stream := trace.NewReplayer(masterTrace())
+	stream := trace.MustReplayer(masterTrace())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
