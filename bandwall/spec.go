@@ -58,42 +58,18 @@ func ParseStack(spec string) (Stack, error) {
 	return Combine(ts...), nil
 }
 
-// buildTechnique maps one spec term to a technique value.
+// buildTechnique maps one spec term to a technique value via the by-name
+// construction registry (technique.Builders); "CC=2" sets the builder's
+// primary parameter, a bare "CC" takes the realistic Table 2 default.
 func buildTechnique(label string, val float64, hasVal bool) (Technique, error) {
-	pick := func(def float64) float64 {
-		if hasVal {
-			return val
-		}
-		return def
+	b, ok := technique.BuilderByName(label)
+	if !ok {
+		return nil, fmt.Errorf("bandwall: unknown technique %q (want %s)",
+			label, strings.Join(technique.BuilderNames(), ", "))
 	}
-	switch strings.ToUpper(label) {
-	case "CC":
-		return technique.CacheCompression{Ratio: pick(2)}, nil
-	case "DRAM":
-		return technique.DRAMCache{Density: pick(8)}, nil
-	case "3D":
-		return technique.ThreeDCache{LayerDensity: pick(1)}, nil
-	case "FLTR":
-		return technique.UnusedDataFilter{Unused: pick(0.4)}, nil
-	case "SMCO":
-		k := pick(40)
-		if k <= 0 {
-			return nil, fmt.Errorf("bandwall: SmCo shrink factor must be positive, got %g", k)
-		}
-		return technique.SmallerCores{AreaFraction: 1 / k}, nil
-	case "LC":
-		return technique.LinkCompression{Ratio: pick(2)}, nil
-	case "SECT":
-		return technique.SectoredCache{Unused: pick(0.4)}, nil
-	case "SMCL":
-		return technique.SmallCacheLines{Unused: pick(0.4)}, nil
-	case "CC/LC", "CCLC":
-		return technique.CacheLinkCompression{Ratio: pick(2)}, nil
-	case "SHR":
-		return technique.DataSharing{SharedFrac: pick(0.4)}, nil
-	case "SHRPRIV", "SHR(PRIV)":
-		return technique.DataSharingPrivate{SharedFrac: pick(0.4)}, nil
-	default:
-		return nil, fmt.Errorf("bandwall: unknown technique %q (want CC, DRAM, 3D, Fltr, SmCo, LC, Sect, SmCl, CC/LC, Shr, ShrPriv)", label)
+	var params map[string]float64
+	if hasVal {
+		params = map[string]float64{b.Key: val}
 	}
+	return b.ParseParams(params)
 }

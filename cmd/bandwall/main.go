@@ -6,6 +6,7 @@
 //
 //	bandwall list
 //	bandwall run [-quick] [-csv DIR] [-timeout D] [-retries N] [-checkpoint F] [-resume] <experiment-id>... | all
+//	bandwall eval [-csv DIR] [-metrics F] [-timeout D] [-checkpoint F] SPEC.json...
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
 //	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
@@ -36,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/robust"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -93,6 +95,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdList(out)
 	case "run":
 		return cmdRun(ctx, args[1:], out)
+	case "eval":
+		return cmdEval(ctx, args[1:], out)
 	case "cores":
 		return cmdCores(args[1:], out)
 	case "traffic":
@@ -104,7 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "report":
 		return cmdReport(ctx, args[1:], out)
 	case "selftest":
-		return cmdSelftest(out)
+		return cmdSelftest(args[1:], out)
 	case "bench":
 		return cmdBench(args[1:], out)
 	case "fit":
@@ -123,98 +127,112 @@ func usage() {
 subcommands:
   list      list every figure/table reproduction
   run       run reproductions:  run [-quick] [-csv DIR] [-metrics FILE] [-timings] fig02 fig15 | all
+  eval      evaluate scenario specs: eval examples/scenarios/stacked-compression.json
   cores     supportable cores:  cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
   traffic   relative traffic:   traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
   sweep     generation sweep:   sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8" [-verbose]
   trace     trace files:        trace gen|stats|sim (see trace -h)
   report    run everything and emit a Markdown report
-  selftest  verify every pinned paper number in seconds
+  selftest  verify every pinned paper number in seconds: selftest [SPEC.json...]
   bench     time brute-force vs single-pass miss-curve pipelines: bench [-json FILE] [-accesses N]
   fit       fit α to a miss-curve CSV and project core scaling
 
-robustness (run): -timeout D  -retries N  -backoff D  -checkpoint FILE  -resume
-profiling (run, report): -cpuprofile FILE  -memprofile FILE  -trace FILE
+robustness (run, eval): -timeout D  -retries N  -backoff D  -checkpoint FILE  -resume
+profiling (run, eval, report): -cpuprofile FILE  -memprofile FILE  -trace FILE
 `)
 }
 
 func cmdList(out io.Writer) error {
 	tb := &render.Table{
 		Title:   "Registered reproductions (paper order)",
-		Headers: []string{"id", "title"},
+		Headers: []string{"id", "title", "paper result"},
 	}
 	for _, e := range bandwall.Experiments() {
-		tb.AddRow(e.ID, e.Title)
+		tb.AddRow(e.ID, e.Title, shorten(e.Paper, 80))
 	}
 	fmt.Fprint(out, tb.String())
 	return nil
 }
 
-func cmdRun(ctx context.Context, args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	quick := fs.Bool("quick", false, "reduce simulation fidelity for speed")
-	csvDir := fs.String("csv", "", "also write each experiment's tables as CSV into DIR")
-	jobs := fs.Int("jobs", 4, "parallel workers")
-	asJSON := fs.Bool("json", false, "emit results as JSON instead of text")
-	metricsFile := fs.String("metrics", "", "write spans and counters as NDJSON to `FILE`")
-	timings := fs.Bool("timings", false, "print a per-experiment timing table after the results")
-	timeout := fs.Duration("timeout", 0, "per-attempt experiment timeout (0 = none)")
-	retries := fs.Int("retries", 2, "extra attempts for transiently failing experiments")
-	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry delay, doubling per retry")
-	ckptPath := fs.String("checkpoint", "", "append per-experiment completion records to NDJSON `FILE`")
-	resume := fs.Bool("resume", false, "skip experiments recorded clean in the -checkpoint file")
-	pf := addProfileFlags(fs)
-	ids, err := parseInterleaved(fs, args)
-	if err != nil {
-		return usageError{err}
+// shorten truncates s to at most max runes for one-line table cells.
+func shorten(s string, max int) string {
+	r := []rune(s)
+	if len(r) <= max {
+		return s
 	}
-	if len(ids) == 0 {
-		return usagef("run: need experiment ids or 'all'")
+	return string(r[:max-1]) + "…"
+}
+
+// suiteFlags bundles the flags shared by the suite-running subcommands
+// (run, eval): worker count, robustness knobs, output and profiling hooks.
+type suiteFlags struct {
+	csvDir      *string
+	jobs        *int
+	asJSON      *bool
+	metricsFile *string
+	timings     *bool
+	timeout     *time.Duration
+	retries     *int
+	backoff     *time.Duration
+	ckptPath    *string
+	resume      *bool
+	pf          profileFlags
+}
+
+// addSuiteFlags registers the shared suite flags on fs.
+func addSuiteFlags(fs *flag.FlagSet) *suiteFlags {
+	return &suiteFlags{
+		csvDir:      fs.String("csv", "", "also write each experiment's tables as CSV into DIR"),
+		jobs:        fs.Int("jobs", 4, "parallel workers"),
+		asJSON:      fs.Bool("json", false, "emit results as JSON instead of text"),
+		metricsFile: fs.String("metrics", "", "write spans and counters as NDJSON to `FILE`"),
+		timings:     fs.Bool("timings", false, "print a per-experiment timing table after the results"),
+		timeout:     fs.Duration("timeout", 0, "per-attempt experiment timeout (0 = none)"),
+		retries:     fs.Int("retries", 2, "extra attempts for transiently failing experiments"),
+		backoff:     fs.Duration("backoff", 100*time.Millisecond, "base retry delay, doubling per retry"),
+		ckptPath:    fs.String("checkpoint", "", "append per-experiment completion records to NDJSON `FILE`"),
+		resume:      fs.Bool("resume", false, "skip experiments recorded clean in the -checkpoint file"),
+		pf:          addProfileFlags(fs),
 	}
-	if *resume && *ckptPath == "" {
-		return usagef("run: -resume requires -checkpoint FILE")
-	}
-	var exps []exp.Experiment
-	if len(ids) == 1 && ids[0] == "all" {
-		exps = exp.Registry
-	} else {
-		for _, id := range ids {
-			e, ok := exp.ByID(id)
-			if !ok {
-				return usagef("run: unknown experiment %q (try 'bandwall list')", id)
-			}
-			exps = append(exps, e)
-		}
+}
+
+// runSuite executes exps under the shared flags: checkpointing, metrics,
+// profiling, and report/CSV/JSON output behave identically for every
+// suite-running subcommand. name prefixes usage errors.
+func (sf *suiteFlags) runSuite(ctx context.Context, name string, exps []exp.Experiment, opts exp.Options, out io.Writer) error {
+	if *sf.resume && *sf.ckptPath == "" {
+		return usagef("%s: -resume requires -checkpoint FILE", name)
 	}
 	var reg *obs.Registry
-	if *metricsFile != "" || *timings {
+	if *sf.metricsFile != "" || *sf.timings {
 		var restore func()
 		reg, restore = enableObs()
 		defer restore()
 	}
-	prof, err := pf.start()
+	prof, err := sf.pf.start()
 	if err != nil {
 		return err
 	}
 	defer prof.stopQuiet()
 	var ckpt *robust.CheckpointLog
-	if *ckptPath != "" {
-		ckpt, err = robust.OpenCheckpoint(*ckptPath)
+	if *sf.ckptPath != "" {
+		ckpt, err = robust.OpenCheckpoint(*sf.ckptPath)
 		if err != nil {
 			return err
 		}
 		defer ckpt.Close()
 	}
 	cfg := exp.SuiteConfig{
-		Workers:    *jobs,
-		Attempts:   *retries + 1,
-		Backoff:    *backoff,
-		Timeout:    *timeout,
+		Workers:    *sf.jobs,
+		Attempts:   *sf.retries + 1,
+		Backoff:    *sf.backoff,
+		Timeout:    *sf.timeout,
 		Checkpoint: ckpt,
-		Resume:     *resume,
+		Resume:     *sf.resume,
 		OnDone:     suiteProgress(),
 	}
-	outcomes, runErr := exp.RunSuite(ctx, exps, exp.Options{Quick: *quick}, cfg)
-	if *asJSON {
+	outcomes, runErr := exp.RunSuite(ctx, exps, opts, cfg)
+	if *sf.asJSON {
 		var results []*exp.Result
 		for _, oc := range outcomes {
 			if oc.Result != nil {
@@ -236,21 +254,21 @@ func cmdRun(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}
 	}
-	if *csvDir != "" {
+	if *sf.csvDir != "" {
 		for _, oc := range outcomes {
 			if oc.Result == nil {
 				continue
 			}
-			if err := writeCSV(*csvDir, oc.Result); err != nil {
+			if err := writeCSV(*sf.csvDir, oc.Result); err != nil {
 				return err
 			}
 		}
 	}
-	if *timings {
+	if *sf.timings {
 		fmt.Fprint(out, timingTable(reg).String())
 	}
-	if *metricsFile != "" {
-		if err := writeMetricsFile(*metricsFile, reg); err != nil {
+	if *sf.metricsFile != "" {
+		if err := writeMetricsFile(*sf.metricsFile, reg); err != nil {
 			return err
 		}
 	}
@@ -259,6 +277,67 @@ func cmdRun(ctx context.Context, args []string, out io.Writer) error {
 		return runErr
 	}
 	return prof.stop()
+}
+
+func cmdRun(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduce simulation fidelity for speed")
+	sf := addSuiteFlags(fs)
+	ids, err := parseInterleaved(fs, args)
+	if err != nil {
+		return usageError{err}
+	}
+	if len(ids) == 0 {
+		return usagef("run: need experiment ids or 'all'")
+	}
+	var exps []exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = exp.Registry
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(id)
+			if !ok {
+				return usagef("run: unknown experiment %q (try 'bandwall list')", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	return sf.runSuite(ctx, "run", exps, exp.Options{Quick: *quick}, out)
+}
+
+// cmdEval evaluates user-written scenario specs (examples/scenarios/*.json)
+// through the same suite runner as `run`: the -metrics/-timeout/-checkpoint
+// flags and the report/NDJSON outputs work unchanged. All specs share one
+// scenario engine, so a batch reuses solver results across files.
+func cmdEval(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	sf := addSuiteFlags(fs)
+	paths, err := parseInterleaved(fs, args)
+	if err != nil {
+		return usageError{err}
+	}
+	if len(paths) == 0 {
+		return usagef("eval: need scenario spec files (see examples/scenarios)")
+	}
+	eng := scenario.NewEngine()
+	seen := map[string]string{}
+	var exps []exp.Experiment
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.ParseSpec(data)
+		if err != nil {
+			return usagef("eval: %s: %v", path, err)
+		}
+		if prev, dup := seen[sp.ID]; dup {
+			return usagef("eval: %s and %s both declare id %q", prev, path, sp.ID)
+		}
+		seen[sp.ID] = path
+		exps = append(exps, exp.FromSpec(sp, eng))
+	}
+	return sf.runSuite(ctx, "eval", exps, exp.Options{}, out)
 }
 
 // parseInterleaved parses fs over args, allowing flags and positional

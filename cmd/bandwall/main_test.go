@@ -49,6 +49,16 @@ func TestList(t *testing.T) {
 			t.Errorf("list missing %q", want)
 		}
 	}
+	// Each row carries the registry title and the paper-result description.
+	for _, want := range []string{
+		"title", "paper result",
+		"Memory traffic vs core count in the next technology generation",
+		"traffic grows super-linearly",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%.600s", want, out)
+		}
+	}
 }
 
 func TestCores(t *testing.T) {
@@ -213,11 +223,148 @@ func TestSelftest(t *testing.T) {
 	if err != nil {
 		t.Fatalf("selftest failed:\n%s\n%v", out, err)
 	}
-	if !strings.Contains(out, "all 22 checks pass") {
+	if !strings.Contains(out, "all 25 checks pass") {
 		t.Errorf("selftest output:\n%s", out)
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Errorf("selftest reported failures:\n%s", out)
+	}
+}
+
+// exampleSpecs are the shipped scenario specs, relative to this package.
+var exampleSpecs = []string{
+	"../../examples/scenarios/stacked-compression.json",
+	"../../examples/scenarios/custom-envelope.json",
+	"../../examples/scenarios/generation-sweep.json",
+}
+
+// TestEvalExamples covers the acceptance criterion: the three shipped
+// example specs evaluate cleanly in one batch and reproduce the paper's
+// core counts (stacked CC 2x + LC 2x on 32 CEAs is Fig 12's 18 cores).
+func TestEvalExamples(t *testing.T) {
+	out, err := runCapture(t, append([]string{"eval", "-json"}, exampleSpecs...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		ID     string             `json:"id"`
+		Values map[string]float64 `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("eval -json output: %v\n%s", err, out)
+	}
+	if len(results) != 3 {
+		t.Fatalf("eval returned %d results, want 3:\n%s", len(results), out)
+	}
+	values := map[string]map[string]float64{}
+	for _, r := range results {
+		values[r.ID] = r.Values
+	}
+	for _, tc := range []struct {
+		id, key string
+		want    float64
+	}{
+		{"stacked-compression", "cores@base", 11},
+		{"stacked-compression", "cores@cc+lc", 18},
+		{"custom-envelope", "cores@1x", 11},
+		{"custom-envelope", "cores@1.5x", 13},
+		{"generation-sweep", "BASE@16x", 24},
+		{"generation-sweep", "DRAM@16x", 47},
+		{"generation-sweep", "combined@16x", 183},
+	} {
+		if got := values[tc.id][tc.key]; got != tc.want {
+			t.Errorf("%s %s = %g, want %g", tc.id, tc.key, got, tc.want)
+		}
+	}
+}
+
+// TestEvalTextReport asserts the default text output renders a table per
+// spec, like `run` does for registry experiments.
+func TestEvalTextReport(t *testing.T) {
+	out, err := runCapture(t, "eval", exampleSpecs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Stacked cache + link compression",
+		"CC 2x + LC 2x",
+		"cores@cc+lc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eval text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEvalSuiteFlags verifies eval rides the same suite runner as run:
+// -metrics writes the NDJSON dump and -checkpoint/-resume skip clean specs.
+func TestEvalSuiteFlags(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.ndjson")
+	ckpt := filepath.Join(dir, "ck.ndjson")
+	if _, err := runCapture(t, "eval", "-metrics", metrics, "-checkpoint", ckpt, exampleSpecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "scenario.eval") {
+		t.Errorf("metrics dump missing scenario.eval span:\n%.400s", data)
+	}
+	out, err := runCapture(t, "eval", "-checkpoint", ckpt, "-resume", exampleSpecs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "custom-envelope: skipped") {
+		t.Errorf("resume did not skip the clean spec:\n%s", out)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := runCapture(t, "eval"); err == nil {
+		t.Error("eval without specs accepted")
+	}
+	if _, err := runCapture(t, "eval", "/nonexistent/spec.json"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"id":"bad","axis":{},"cases":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "eval", bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"id":"t","axes":{"n2":[32]},"cases":[{}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "eval", typo); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+	if _, err := runCapture(t, "eval", exampleSpecs[0], exampleSpecs[0]); err == nil {
+		t.Error("duplicate spec ids accepted")
+	}
+}
+
+// TestSelftestSpecFiles covers the CI spec-sanity hook: selftest with spec
+// paths validates them and counts them as checks; a broken spec fails.
+func TestSelftestSpecFiles(t *testing.T) {
+	out, err := runCapture(t, append([]string{"selftest"}, exampleSpecs...)...)
+	if err != nil {
+		t.Fatalf("selftest with specs failed:\n%s\n%v", out, err)
+	}
+	if !strings.Contains(out, "all 28 checks pass") {
+		t.Errorf("selftest spec output:\n%s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"id":"","cases":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCapture(t, "selftest", bad)
+	if err == nil {
+		t.Errorf("selftest accepted a broken spec:\n%s", out)
 	}
 }
 

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/bandwall"
+	"repro/internal/scenario"
 )
 
 // selfCheck is one pinned paper number.
@@ -38,10 +41,41 @@ var selfChecks = []selfCheck{
 	{"Fig 16: all combined @16x", "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4", 256, 183},
 }
 
+// scenarioChecks drive the scenario engine end-to-end through its JSON
+// spec path; each embedded spec mirrors one examples/scenarios query, so a
+// schema or engine regression fails here in milliseconds.
+var scenarioChecks = []struct {
+	name string
+	spec string
+	key  string // Values key holding the solved core count
+	want float64
+}{
+	{
+		"Scenario: stacked CC 2x + LC 2x (Fig 12)",
+		`{"id":"stacked","axis":{"n2":[32]},"cases":[{"label":"CC 2x + LC 2x",
+		  "stack":[{"name":"CC","params":{"ratio":2}},{"name":"LC","params":{"ratio":2}}],
+		  "value_key":"cores"}]}`,
+		"cores", 18,
+	},
+	{
+		"Scenario: 1.5x envelope (Fig 2)",
+		`{"id":"envelope","budget":{"envelope":1.5},"axis":{"n2":[32]},
+		  "cases":[{"label":"BASE","value_key":"cores"}]}`,
+		"cores", 13,
+	},
+	{
+		"Scenario: DRAM 8x across 4 gens (Fig 15)",
+		`{"id":"gens","axis":{"generations":4},"cases":[{"label":"DRAM 8x",
+		  "stack":[{"name":"DRAM","params":{"density":8}}],"value_key":"cores"}]}`,
+		"cores@16x", 47,
+	},
+}
+
 // cmdSelftest verifies the pinned numbers and reports pass/fail — a
 // seconds-long release sanity check (the full `go test ./...` covers far
-// more, but needs a Go toolchain).
-func cmdSelftest(out io.Writer) error {
+// more, but needs a Go toolchain). Any arguments are scenario spec files
+// to parse and validate (CI points this at examples/scenarios/*.json).
+func cmdSelftest(args []string, out io.Writer) error {
 	s := bandwall.DefaultSolver()
 	failures := 0
 	for _, c := range selfChecks {
@@ -76,9 +110,56 @@ func cmdSelftest(out io.Writer) error {
 		}
 		fmt.Fprintf(out, "Fig 13: break-even f_sh @%3g cores    want %.2f ... %s\n", tc.cores, tc.want, status)
 	}
+	// Scenario engine via the JSON spec path.
+	eng := scenario.NewEngine()
+	for _, c := range scenarioChecks {
+		got, err := evalSpecValue(eng, []byte(c.spec), c.key)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if got != c.want {
+			status = fmt.Sprintf("FAIL (got %g)", got)
+			failures++
+		}
+		fmt.Fprintf(out, "%-36s want %3.0f cores ... %s\n", c.name, c.want, status)
+	}
+	// User-supplied spec files: strict parse + validation only, so this
+	// stays a schema sanity check rather than an open-ended evaluation.
+	for _, path := range args {
+		status := "ok"
+		data, err := os.ReadFile(path)
+		if err != nil {
+			status = fmt.Sprintf("FAIL (%v)", err)
+		} else if _, err := scenario.ParseSpec(data); err != nil {
+			status = fmt.Sprintf("FAIL (%v)", err)
+		}
+		if status != "ok" {
+			failures++
+		}
+		fmt.Fprintf(out, "Spec sanity: %-47s ... %s\n", path, status)
+	}
 	if failures > 0 {
 		return fmt.Errorf("selftest: %d checks failed", failures)
 	}
-	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4)
+	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4+len(scenarioChecks)+len(args))
 	return nil
+}
+
+// evalSpecValue parses and evaluates one embedded spec, returning the
+// named entry of its Values map.
+func evalSpecValue(eng *scenario.Engine, spec []byte, key string) (float64, error) {
+	sp, err := scenario.ParseSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	o, err := eng.Evaluate(context.Background(), sp)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := o.Values[key]
+	if !ok {
+		return 0, fmt.Errorf("selftest: spec %s produced no value %q", sp.ID, key)
+	}
+	return v, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/render"
 	"repro/internal/scaling"
+	"repro/internal/scenario"
 	"repro/internal/technique"
 )
 
@@ -29,9 +30,9 @@ func extEnvelopeExp() Experiment {
 var itrsBudgetPerGen = math.Pow(1.1, 1.5)
 
 func runExtEnvelope(ctx context.Context, _ Options) (*Result, error) {
-	s := scaling.Default()
-	gens := scaling.Generations(s.Base().N(), 4)
-	scenarios := []struct {
+	// Stack × envelope grid as one compounding-budget scenario: each case's
+	// envelope is raised to the generation index, SweepGenerations-style.
+	envelopes := []struct {
 		name   string
 		budget float64
 	}{
@@ -41,29 +42,48 @@ func runExtEnvelope(ctx context.Context, _ Options) (*Result, error) {
 		{"proportional-sustaining (2x/gen)", 2},
 	}
 	stacks := []struct {
-		name string
-		st   technique.Stack
+		name  string
+		stack []technique.Spec
 	}{
-		{"BASE", technique.Combine()},
-		{"DRAM=8", technique.Combine(technique.DRAMCache{Density: 8})},
+		{"BASE", nil},
+		{"DRAM=8", []technique.Spec{{Name: "DRAM", Params: map[string]float64{"density": 8}}}},
+	}
+	var cases []scenario.Case
+	for _, stk := range stacks {
+		for _, env := range envelopes {
+			cases = append(cases, scenario.Case{
+				Label:  fmt.Sprintf("%s under %s", stk.name, env.name),
+				Stack:  stk.stack,
+				Budget: env.budget,
+			})
+		}
+	}
+	sp := &scenario.Spec{
+		ID:     "ext-envelope",
+		Budget: scenario.Budget{Compound: true},
+		Axis:   scenario.Axis{Generations: 4},
+		Cases:  cases,
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
 	}
 	tb := &render.Table{
 		Title:   "Supportable cores under growing bandwidth envelopes",
 		Headers: []string{"stack", "envelope", "2x", "4x", "8x", "16x"},
 	}
 	values := map[string]float64{}
+	ci := 0
 	for _, stk := range stacks {
-		for _, sc := range scenarios {
-			pts, err := s.SweepGenerationsCtx(ctx, stk.st, gens, sc.budget)
-			if err != nil {
-				return nil, err
-			}
-			row := []any{stk.name, sc.name}
+		for _, env := range envelopes {
+			pts := o.PointsFor(ci)
+			ci++
+			row := []any{stk.name, env.name}
 			for _, p := range pts {
 				row = append(row, p.Cores)
 			}
 			tb.AddRow(row...)
-			values[fmt.Sprintf("%s:%s@16x", stk.name, sc.name)] = float64(pts[3].Cores)
+			values[fmt.Sprintf("%s:%s@16x", stk.name, env.name)] = float64(pts[3].Cores)
 		}
 	}
 	return &Result{

@@ -2,9 +2,10 @@ package exp
 
 import (
 	"context"
+
 	"repro/internal/render"
 	"repro/internal/scaling"
-	"repro/internal/technique"
+	"repro/internal/scenario"
 )
 
 func fig02Exp() Experiment {
@@ -17,6 +18,23 @@ func fig02Exp() Experiment {
 }
 
 func runFig02(ctx context.Context, _ Options) (*Result, error) {
+	// The envelope intersections are a two-case scenario: BASE under the
+	// constant envelope and under the 1.5x one.
+	sp := &scenario.Spec{
+		ID:   "fig02",
+		Axis: scenario.Axis{N2: []float64{32}},
+		Cases: []scenario.Case{
+			{Label: "BASE, B=1"},
+			{Label: "BASE, B=1.5", Budget: 1.5},
+		},
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	b1, b15 := o.PointsFor(0)[0], o.PointsFor(1)[0]
+
+	// The traffic curve itself is closed-form, no solver involved.
 	s := scaling.Default()
 	model := s.Model()
 	const n2 = 32.0
@@ -47,18 +65,6 @@ func runFig02(ctx context.Context, _ Options) (*Result, error) {
 		},
 	}
 
-	coresB1, err := s.MaxCoresCtx(ctx, technique.Combine(), n2, 1)
-	if err != nil {
-		return nil, err
-	}
-	coresB15, err := s.MaxCoresCtx(ctx, technique.Combine(), n2, 1.5)
-	if err != nil {
-		return nil, err
-	}
-	exactB1, err := s.EnvelopeIntersectionCtx(ctx, n2, 1)
-	if err != nil {
-		return nil, err
-	}
 	return &Result{
 		ID:     "fig02",
 		Title:  "Traffic vs cores, next generation",
@@ -68,9 +74,9 @@ func runFig02(ctx context.Context, _ Options) (*Result, error) {
 			"paper: 11 cores under a constant envelope (37.5% growth), 13 under a 1.5x envelope (62.5%)",
 		},
 		Values: map[string]float64{
-			"cores@B=1":        float64(coresB1),
-			"cores@B=1.5":      float64(coresB15),
-			"intersection@B=1": exactB1,
+			"cores@B=1":        float64(b1.Cores),
+			"cores@B=1.5":      float64(b15.Cores),
+			"intersection@B=1": b1.Exact,
 			"traffic@16cores":  curve[15],
 			"traffic@24cores":  curve[23],
 		},
@@ -87,39 +93,35 @@ func fig03Exp() Experiment {
 }
 
 func runFig03(ctx context.Context, _ Options) (*Result, error) {
-	s := scaling.Default()
-	ratios := []float64{1, 2, 4, 8, 16, 32, 64, 128}
-	gens := scaling.ScalingRatios(s.Base().N(), ratios)
+	sp := &scenario.Spec{
+		ID:    "fig03",
+		Axis:  scenario.Axis{Ratios: []float64{1, 2, 4, 8, 16, 32, 64, 128}},
+		Cases: []scenario.Case{{Label: "BASE"}},
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
 	tb := &render.Table{
 		Title:   "Supportable cores under a constant traffic envelope",
 		Headers: []string{"scaling", "CEAs", "cores", "exact", "% area for cores", "proportional"},
 	}
 	values := map[string]float64{}
 	var coresXs, coresYs, areaYs []float64
-	for _, g := range gens {
-		var cores int
-		var exact float64
-		var err error
-		if g.Ratio == 1 {
-			// The baseline is balanced by construction.
+	for _, pt := range o.PointsFor(0) {
+		cores, exact := pt.Cores, pt.Exact
+		if pt.Gen.Ratio == 1 {
+			// The baseline is balanced by construction; pin the exact fixed
+			// point rather than reporting the root finder's approximation.
 			cores, exact = 8, 8
-		} else {
-			exact, err = s.SupportableCoresCtx(ctx, technique.Combine(), g.N, 1)
-			if err != nil {
-				return nil, err
-			}
-			cores, err = s.MaxCoresCtx(ctx, technique.Combine(), g.N, 1)
-			if err != nil {
-				return nil, err
-			}
 		}
-		areaPct := 100 * exact / g.N
-		tb.AddRow(g.String(), g.N, cores, exact, areaPct, s.ProportionalCores(g.N))
-		coresXs = append(coresXs, g.Ratio)
+		areaPct := 100 * exact / pt.Gen.N
+		tb.AddRow(pt.Gen.String(), pt.Gen.N, cores, exact, areaPct, pt.Proportional)
+		coresXs = append(coresXs, pt.Gen.Ratio)
 		coresYs = append(coresYs, float64(cores))
 		areaYs = append(areaYs, areaPct)
-		values[genKey("cores", g.Ratio)] = float64(cores)
-		values[genKey("area%", g.Ratio)] = areaPct
+		values[genKey("cores", pt.Gen.Ratio)] = float64(cores)
+		values[genKey("area%", pt.Gen.Ratio)] = areaPct
 	}
 	chart := &render.Chart{
 		Title: "Fig 3: cores (left) and % die area (right) vs scaling ratio", LogX: true, Width: 56, Height: 16,
@@ -140,7 +142,8 @@ func runFig03(ctx context.Context, _ Options) (*Result, error) {
 	}, nil
 }
 
-// genKey builds keys like "cores@16x".
+// genKey builds keys like "cores@16x" (the scenario package's shared
+// convention).
 func genKey(prefix string, ratio float64) string {
-	return prefix + "@" + trim(ratio) + "x"
+	return scenario.GenKey(prefix, ratio)
 }

@@ -4,112 +4,79 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/render"
-	"repro/internal/scaling"
+	"repro/internal/scenario"
 	"repro/internal/technique"
 )
 
-// sweepPoint is one x-axis entry of a single-technique figure.
-type sweepPoint struct {
-	label string
-	stack technique.Stack
-	// valueKey, when non-empty, records the solved core count in Values.
-	valueKey string
-	// scenario tags the paper's pessimistic/realistic/optimistic marker.
-	scenario string
+// Figs 4–12 share one skeleton: supportable cores for each technique
+// setting on the 32-CEA next-generation chip under a constant envelope.
+// Each figure is a declarative scenario spec — the solve loop, table,
+// chart, and Values harvesting all live in the scenario engine.
+
+// sweepSpec builds that skeleton around a case list.
+func sweepSpec(id, title, note string, cases []scenario.Case) *scenario.Spec {
+	return &scenario.Spec{
+		ID:    id,
+		Title: title,
+		Notes: []string{note},
+		Axis:  scenario.Axis{N2: []float64{32}},
+		Cases: cases,
+	}
 }
 
-// runTechniqueSweep solves supportable cores for each point on the
-// 32-CEA next-generation chip under a constant envelope — the common
-// skeleton of the paper's Figs 4–12.
-func runTechniqueSweep(ctx context.Context, id, title, note string, points []sweepPoint) (*Result, error) {
-	s := scaling.Default()
-	const n2 = 32.0
-	tb := &render.Table{
-		Title:   fmt.Sprintf("Supportable cores on %g CEAs, constant traffic", n2),
-		Headers: []string{"configuration", "cores", "exact", "scenario"},
-	}
-	values := map[string]float64{}
-	var xs, ys []float64
-	for i, pt := range points {
-		exact, err := s.SupportableCoresCtx(ctx, pt.stack, n2, 1)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", pt.label, err)
-		}
-		cores, err := s.MaxCoresCtx(ctx, pt.stack, n2, 1)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(pt.label, cores, exact, pt.scenario)
-		if pt.valueKey != "" {
-			values[pt.valueKey] = float64(cores)
-		}
-		xs = append(xs, float64(i))
-		ys = append(ys, float64(cores))
-	}
-	chart := &render.Chart{
-		Title: title + " (bar heights by sweep index)", Width: 50, Height: 12,
-		Series: []render.Series{{Name: "cores", X: xs, Y: ys}},
-	}
-	return &Result{
-		ID:     id,
-		Title:  title,
-		Tables: []*render.Table{tb},
-		Charts: []*render.Chart{chart},
-		Notes:  []string{note},
-		Values: values,
-	}, nil
+// stackOf shortens single-technique case stacks.
+func stackOf(name string, key string, val float64) []technique.Spec {
+	return []technique.Spec{{Name: name, Params: map[string]float64{key: val}}}
 }
 
-// compressionSweep builds the x-axis shared by Figs 4, 9, and 12.
-func compressionSweep(mk func(ratio float64) technique.Technique) []sweepPoint {
-	pts := []sweepPoint{{label: "No Compress", stack: technique.Combine(), valueKey: "cores@none"}}
+// compressionCases builds the x-axis shared by Figs 4, 9, and 12.
+func compressionCases(name string) []scenario.Case {
+	cases := []scenario.Case{{Label: "No Compress", ValueKey: "cores@none"}}
 	for _, r := range []float64{1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0} {
-		scenario := ""
+		tag := ""
 		switch r {
 		case 1.25:
-			scenario = "pessimistic"
+			tag = "pessimistic"
 		case 2.0:
-			scenario = "realistic"
+			tag = "realistic"
 		case 3.5:
-			scenario = "optimistic"
+			tag = "optimistic"
 		}
-		pts = append(pts, sweepPoint{
-			label:    fmt.Sprintf("%.2fx", r),
-			stack:    technique.Combine(mk(r)),
-			valueKey: fmt.Sprintf("cores@%.2fx", r),
-			scenario: scenario,
+		cases = append(cases, scenario.Case{
+			Label:    fmt.Sprintf("%.2fx", r),
+			Stack:    stackOf(name, "ratio", r),
+			ValueKey: fmt.Sprintf("cores@%.2fx", r),
+			Scenario: tag,
 		})
 	}
-	return pts
+	return cases
 }
 
-// unusedDataSweep builds the x-axis shared by Figs 7, 10, and 11.
-func unusedDataSweep(includeZero bool, mk func(unused float64) technique.Technique) []sweepPoint {
-	var pts []sweepPoint
+// unusedDataCases builds the x-axis shared by Figs 7, 10, and 11.
+func unusedDataCases(name string, includeZero bool) []scenario.Case {
+	baseLabel := "No Filtering"
 	if includeZero {
-		pts = append(pts, sweepPoint{label: "0%", stack: technique.Combine(), valueKey: "cores@0%"})
-	} else {
-		pts = append(pts, sweepPoint{label: "No Filtering", stack: technique.Combine(), valueKey: "cores@0%"})
+		baseLabel = "0%"
 	}
+	cases := []scenario.Case{{Label: baseLabel, ValueKey: "cores@0%"}}
 	for _, u := range []float64{0.10, 0.20, 0.40, 0.80} {
-		scenario := ""
+		tag := ""
 		switch u {
 		case 0.10:
-			scenario = "pessimistic"
+			tag = "pessimistic"
 		case 0.40:
-			scenario = "realistic"
+			tag = "realistic"
 		case 0.80:
-			scenario = "optimistic"
+			tag = "optimistic"
 		}
-		pts = append(pts, sweepPoint{
-			label:    fmt.Sprintf("%.0f%%", u*100),
-			stack:    technique.Combine(mk(u)),
-			valueKey: fmt.Sprintf("cores@%.0f%%", u*100),
-			scenario: scenario,
+		cases = append(cases, scenario.Case{
+			Label:    fmt.Sprintf("%.0f%%", u*100),
+			Stack:    stackOf(name, "unused", u),
+			ValueKey: fmt.Sprintf("cores@%.0f%%", u*100),
+			Scenario: tag,
 		})
 	}
-	return pts
+	return cases
 }
 
 func fig04Exp() Experiment {
@@ -118,17 +85,15 @@ func fig04Exp() Experiment {
 		Title: "Cores enabled by cache compression",
 		Paper: "Compression ratios 1.3/1.7/2.0/2.5/3.0x enable 11/12/13/14/14 cores on 32 CEAs — modest, dampened by the -α exponent.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := compressionSweep(func(r float64) technique.Technique {
-				return technique.CacheCompression{Ratio: r}
-			})
+			cases := compressionCases("CC")
 			// The paper quotes 1.3x and 1.7x explicitly; add them.
-			extra := []sweepPoint{
-				{label: "1.30x", stack: technique.Combine(technique.CacheCompression{Ratio: 1.3}), valueKey: "cores@1.30x"},
-				{label: "1.70x", stack: technique.Combine(technique.CacheCompression{Ratio: 1.7}), valueKey: "cores@1.70x"},
+			extra := []scenario.Case{
+				{Label: "1.30x", Stack: stackOf("CC", "ratio", 1.3), ValueKey: "cores@1.30x"},
+				{Label: "1.70x", Stack: stackOf("CC", "ratio", 1.7), ValueKey: "cores@1.70x"},
 			}
-			pts = append(pts[:2], append(extra, pts[2:]...)...)
-			return runTechniqueSweep(ctx, "fig04", "Cache compression (indirect)",
-				"paper: 11/12/13/14/14 cores at 1.3/1.7/2.0/2.5/3.0x", pts)
+			cases = append(cases[:2], append(extra, cases[2:]...)...)
+			return runScenarioExp(ctx, sweepSpec("fig04", "Cache compression (indirect)",
+				"paper: 11/12/13/14/14 cores at 1.3/1.7/2.0/2.5/3.0x", cases))
 		},
 	}
 }
@@ -139,14 +104,14 @@ func fig05Exp() Experiment {
 		Title: "Cores enabled by DRAM caches",
 		Paper: "4x density reaches proportional scaling (16 cores); 8x and 16x reach 18 and 21 on 32 CEAs.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := []sweepPoint{
-				{label: "SRAM L2", stack: technique.Combine(), valueKey: "cores@sram"},
-				{label: "DRAM L2 (4x)", stack: technique.Combine(technique.DRAMCache{Density: 4}), valueKey: "cores@4x", scenario: "pessimistic"},
-				{label: "DRAM L2 (8x)", stack: technique.Combine(technique.DRAMCache{Density: 8}), valueKey: "cores@8x", scenario: "realistic"},
-				{label: "DRAM L2 (16x)", stack: technique.Combine(technique.DRAMCache{Density: 16}), valueKey: "cores@16x", scenario: "optimistic"},
+			cases := []scenario.Case{
+				{Label: "SRAM L2", ValueKey: "cores@sram"},
+				{Label: "DRAM L2 (4x)", Stack: stackOf("DRAM", "density", 4), ValueKey: "cores@4x", Scenario: "pessimistic"},
+				{Label: "DRAM L2 (8x)", Stack: stackOf("DRAM", "density", 8), ValueKey: "cores@8x", Scenario: "realistic"},
+				{Label: "DRAM L2 (16x)", Stack: stackOf("DRAM", "density", 16), ValueKey: "cores@16x", Scenario: "optimistic"},
 			}
-			return runTechniqueSweep(ctx, "fig05", "DRAM caches (indirect)",
-				"paper: 16/18/21 cores at 4x/8x/16x density", pts)
+			return runScenarioExp(ctx, sweepSpec("fig05", "DRAM caches (indirect)",
+				"paper: 16/18/21 cores at 4x/8x/16x density", cases))
 		},
 	}
 }
@@ -157,14 +122,14 @@ func fig06Exp() Experiment {
 		Title: "Cores enabled by 3D-stacked caches",
 		Paper: "An SRAM cache die allows 14 cores; DRAM dies of 8x/16x density allow 25/32 — super-proportional.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := []sweepPoint{
-				{label: "No 3D Cache", stack: technique.Combine(), valueKey: "cores@none"},
-				{label: "3D SRAM", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 1}), valueKey: "cores@sram"},
-				{label: "3D DRAM (8x)", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 8}), valueKey: "cores@8x"},
-				{label: "3D DRAM (16x)", stack: technique.Combine(technique.ThreeDCache{LayerDensity: 16}), valueKey: "cores@16x"},
+			cases := []scenario.Case{
+				{Label: "No 3D Cache", ValueKey: "cores@none"},
+				{Label: "3D SRAM", Stack: stackOf("3D", "density", 1), ValueKey: "cores@sram"},
+				{Label: "3D DRAM (8x)", Stack: stackOf("3D", "density", 8), ValueKey: "cores@8x"},
+				{Label: "3D DRAM (16x)", Stack: stackOf("3D", "density", 16), ValueKey: "cores@16x"},
 			}
-			return runTechniqueSweep(ctx, "fig06", "3D-stacked cache (indirect)",
-				"paper: 14/25/32 cores for SRAM/8x-DRAM/16x-DRAM stacked dies", pts)
+			return runScenarioExp(ctx, sweepSpec("fig06", "3D-stacked cache (indirect)",
+				"paper: 14/25/32 cores for SRAM/8x-DRAM/16x-DRAM stacked dies", cases))
 		},
 	}
 }
@@ -175,11 +140,8 @@ func fig07Exp() Experiment {
 		Title: "Cores enabled by unused-data filtering",
 		Paper: "At the realistic 40% unused data the benefit is one extra core (12); even 80% only reaches proportional scaling (16).",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := unusedDataSweep(false, func(u float64) technique.Technique {
-				return technique.UnusedDataFilter{Unused: u}
-			})
-			return runTechniqueSweep(ctx, "fig07", "Unused-data filtering (indirect)",
-				"paper: 12 cores at 40% unused, 16 at 80%", pts)
+			return runScenarioExp(ctx, sweepSpec("fig07", "Unused-data filtering (indirect)",
+				"paper: 12 cores at 40% unused, 16 at 80%", unusedDataCases("Fltr", false)))
 		},
 	}
 }
@@ -190,15 +152,15 @@ func fig08Exp() Experiment {
 		Title: "Cores enabled by smaller cores",
 		Paper: "Even 80x-smaller cores barely help (≈12 cores): freeing the whole die for cache only doubles cache per core at proportional scaling, but 4x is needed.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := []sweepPoint{
-				{label: "1x", stack: technique.Combine(), valueKey: "cores@1x"},
-				{label: "9x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 9}), valueKey: "cores@9x", scenario: "pessimistic"},
-				{label: "45x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 45}), valueKey: "cores@45x"},
-				{label: "40x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 40}), valueKey: "cores@40x", scenario: "realistic"},
-				{label: "80x smaller", stack: technique.Combine(technique.SmallerCores{AreaFraction: 1.0 / 80}), valueKey: "cores@80x", scenario: "optimistic"},
+			cases := []scenario.Case{
+				{Label: "1x", ValueKey: "cores@1x"},
+				{Label: "9x smaller", Stack: stackOf("SmCo", "shrink", 9), ValueKey: "cores@9x", Scenario: "pessimistic"},
+				{Label: "45x smaller", Stack: stackOf("SmCo", "shrink", 45), ValueKey: "cores@45x"},
+				{Label: "40x smaller", Stack: stackOf("SmCo", "shrink", 40), ValueKey: "cores@40x", Scenario: "realistic"},
+				{Label: "80x smaller", Stack: stackOf("SmCo", "shrink", 80), ValueKey: "cores@80x", Scenario: "optimistic"},
 			}
-			return runTechniqueSweep(ctx, "fig08", "Smaller cores (indirect)",
-				"paper: the benefit saturates near 12–13 cores regardless of shrink factor", pts)
+			return runScenarioExp(ctx, sweepSpec("fig08", "Smaller cores (indirect)",
+				"paper: the benefit saturates near 12–13 cores regardless of shrink factor", cases))
 		},
 	}
 }
@@ -209,11 +171,8 @@ func fig09Exp() Experiment {
 		Title: "Cores enabled by link compression",
 		Paper: "A direct technique: 2x effective bandwidth restores proportional scaling (16 cores); higher ratios are super-proportional.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := compressionSweep(func(r float64) technique.Technique {
-				return technique.LinkCompression{Ratio: r}
-			})
-			return runTechniqueSweep(ctx, "fig09", "Link compression (direct)",
-				"paper: 16 cores at 2.0x; direct techniques dodge the -α dampening", pts)
+			return runScenarioExp(ctx, sweepSpec("fig09", "Link compression (direct)",
+				"paper: 16 cores at 2.0x; direct techniques dodge the -α dampening", compressionCases("LC")))
 		},
 	}
 }
@@ -224,11 +183,8 @@ func fig10Exp() Experiment {
 		Title: "Cores enabled by sectored caches",
 		Paper: "Fetching only useful sectors cuts traffic directly: more effective than filtering, especially at high unused fractions.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := unusedDataSweep(true, func(u float64) technique.Technique {
-				return technique.SectoredCache{Unused: u}
-			})
-			return runTechniqueSweep(ctx, "fig10", "Sectored caches (direct)",
-				"paper: ≈14 cores at 40% unused, ≈23 at 80%", pts)
+			return runScenarioExp(ctx, sweepSpec("fig10", "Sectored caches (direct)",
+				"paper: ≈14 cores at 40% unused, ≈23 at 80%", unusedDataCases("Sect", true)))
 		},
 	}
 }
@@ -239,11 +195,8 @@ func fig11Exp() Experiment {
 		Title: "Cores enabled by smaller cache lines",
 		Paper: "Dual benefit (traffic and capacity): 40% unused data restores proportional scaling (16 cores); 80% reaches ≈28.",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := unusedDataSweep(true, func(u float64) technique.Technique {
-				return technique.SmallCacheLines{Unused: u}
-			})
-			return runTechniqueSweep(ctx, "fig11", "Smaller cache lines (dual)",
-				"paper: 16 cores at the realistic 40% unused data", pts)
+			return runScenarioExp(ctx, sweepSpec("fig11", "Smaller cache lines (dual)",
+				"paper: 16 cores at the realistic 40% unused data", unusedDataCases("SmCl", true)))
 		},
 	}
 }
@@ -254,11 +207,8 @@ func fig12Exp() Experiment {
 		Title: "Cores enabled by cache+link compression",
 		Paper: "Compressing once for both the cache and the link: 2.0x already yields super-proportional scaling (18 cores).",
 		Run: func(ctx context.Context, _ Options) (*Result, error) {
-			pts := compressionSweep(func(r float64) technique.Technique {
-				return technique.CacheLinkCompression{Ratio: r}
-			})
-			return runTechniqueSweep(ctx, "fig12", "Cache+link compression (dual)",
-				"paper: 18 cores at 2.0x", pts)
+			return runScenarioExp(ctx, sweepSpec("fig12", "Cache+link compression (dual)",
+				"paper: 18 cores at 2.0x", compressionCases("CC/LC")))
 		},
 	}
 }

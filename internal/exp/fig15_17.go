@@ -5,9 +5,21 @@ import (
 	"fmt"
 
 	"repro/internal/render"
-	"repro/internal/scaling"
+	"repro/internal/scenario"
 	"repro/internal/technique"
 )
+
+// assumptionNames maps assumption → (spec string, ValueKey suffix) for the
+// candle figures: realistic rows use the bare technique label, the other
+// columns get ":pess"/":opt" suffixes (the golden-value key convention).
+var assumptionNames = []struct {
+	spec   string
+	suffix string
+}{
+	{"pessimistic", ":pess"},
+	{"realistic", ""},
+	{"optimistic", ":opt"},
+}
 
 func fig15Exp() Experiment {
 	return Experiment{
@@ -19,48 +31,57 @@ func fig15Exp() Experiment {
 }
 
 func runFig15(ctx context.Context, _ Options) (*Result, error) {
-	s := scaling.Default()
-	gens := scaling.Generations(s.Base().N(), 4)
+	// One case per (technique, assumption) plus BASE: the whole figure is a
+	// single scenario over four doubling generations.
+	cases := []scenario.Case{{Label: "BASE", ValueKey: "BASE"}}
+	for _, entry := range technique.Catalog {
+		for _, an := range assumptionNames {
+			cases = append(cases, scenario.Case{
+				Label:      entry.Label + an.suffix,
+				Stack:      []technique.Spec{{Name: entry.Label}},
+				Assumption: an.spec,
+				ValueKey:   entry.Label + an.suffix,
+			})
+		}
+	}
+	sp := &scenario.Spec{
+		ID:    "fig15",
+		Axis:  scenario.Axis{Generations: 4},
+		Cases: cases,
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &render.Table{
 		Title:   "Supportable cores (pessimistic / realistic / optimistic)",
 		Headers: []string{"technique", "2x", "4x", "8x", "16x"},
 	}
-	values := map[string]float64{}
+	values := o.Values
 
 	// IDEAL and BASE rows first, as in the paper's x-axis.
+	basePts := o.PointsFor(0)
 	idealRow := []any{"IDEAL"}
-	for _, g := range gens {
-		p := s.ProportionalCores(g.N)
-		idealRow = append(idealRow, trim(p))
-		values[genKey("IDEAL", g.Ratio)] = p
+	for _, pt := range basePts {
+		idealRow = append(idealRow, trim(pt.Proportional))
+		values[genKey("IDEAL", pt.Gen.Ratio)] = pt.Proportional
 	}
 	tb.AddRow(idealRow...)
-
-	basePts, err := s.SweepGenerationsCtx(ctx, technique.Combine(), gens, 1)
-	if err != nil {
-		return nil, err
-	}
 	baseRow := []any{"BASE"}
-	for _, p := range basePts {
-		baseRow = append(baseRow, p.Cores)
-		values[genKey("BASE", p.Gen.Ratio)] = float64(p.Cores)
+	for _, pt := range basePts {
+		baseRow = append(baseRow, pt.Cores)
 	}
 	tb.AddRow(baseRow...)
 
-	for _, entry := range technique.Catalog {
-		entry := entry
-		candles, err := s.SweepCandlesCtx(ctx, func(a technique.Assumption) technique.Stack {
-			return technique.Combine(entry.New(a))
-		}, gens, 1)
-		if err != nil {
-			return nil, err
-		}
+	// Candle rows: the (pess, real, opt) case triple per technique.
+	for ti, entry := range technique.Catalog {
+		pess := o.PointsFor(1 + ti*3)
+		real := o.PointsFor(2 + ti*3)
+		opt := o.PointsFor(3 + ti*3)
 		row := []any{entry.Label}
-		for _, c := range candles {
-			row = append(row, fmt.Sprintf("%d/%d/%d", c.Pessimistic, c.Realistic, c.Optimistic))
-			values[genKey(entry.Label, c.Gen.Ratio)] = float64(c.Realistic)
-			values[genKey(entry.Label+":pess", c.Gen.Ratio)] = float64(c.Pessimistic)
-			values[genKey(entry.Label+":opt", c.Gen.Ratio)] = float64(c.Optimistic)
+		for gi := range o.Gens {
+			row = append(row, fmt.Sprintf("%d/%d/%d", pess[gi].Cores, real[gi].Cores, opt[gi].Cores))
 		}
 		tb.AddRow(row...)
 	}
@@ -113,63 +134,73 @@ func fig16Exp() Experiment {
 }
 
 func runFig16(ctx context.Context, _ Options) (*Result, error) {
-	s := scaling.Default()
-	gens := scaling.Generations(s.Base().N(), 4)
+	// The 15 combination columns of Fig 16, by index so the three
+	// assumption variants stay aligned. Each concrete stack is serialized
+	// through the registry into its scenario case.
+	combosByAssumption := [3][]technique.Stack{
+		technique.Fig16Combos(technique.Pessimistic),
+		technique.Fig16Combos(technique.Realistic),
+		technique.Fig16Combos(technique.Optimistic),
+	}
+	realistic := combosByAssumption[1]
+	var cases []scenario.Case
+	cases = append(cases, scenario.Case{Label: "BASE"})
+	for i := range realistic {
+		for ai, combos := range combosByAssumption {
+			specs, err := technique.StackSpecs(combos[i])
+			if err != nil {
+				return nil, err
+			}
+			c := scenario.Case{Label: combos[i].Label(), Stack: specs}
+			if ai == 1 {
+				c.ValueKey = realistic[i].Label()
+			}
+			cases = append(cases, c)
+		}
+	}
+	sp := &scenario.Spec{
+		ID:    "fig16",
+		Axis:  scenario.Axis{Generations: 4},
+		Cases: cases,
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &render.Table{
 		Title:   "Supportable cores (pessimistic / realistic / optimistic)",
 		Headers: []string{"combination", "2x", "4x", "8x", "16x"},
 	}
-	values := map[string]float64{}
+	values := o.Values
 
+	basePts := o.PointsFor(0)
 	idealRow := []any{"IDEAL"}
-	for _, g := range gens {
-		idealRow = append(idealRow, trim(s.ProportionalCores(g.N)))
+	for _, pt := range basePts {
+		idealRow = append(idealRow, trim(pt.Proportional))
 	}
 	tb.AddRow(idealRow...)
-	basePts, err := s.SweepGenerationsCtx(ctx, technique.Combine(), gens, 1)
-	if err != nil {
-		return nil, err
-	}
 	baseRow := []any{"BASE"}
-	for _, p := range basePts {
-		baseRow = append(baseRow, p.Cores)
+	for _, pt := range basePts {
+		baseRow = append(baseRow, pt.Cores)
 	}
 	tb.AddRow(baseRow...)
 
-	// The 15 combination columns of Fig 16, by index so the three
-	// assumption variants stay aligned.
-	realistic := technique.Fig16Combos(technique.Realistic)
-	pessimistic := technique.Fig16Combos(technique.Pessimistic)
-	optimistic := technique.Fig16Combos(technique.Optimistic)
 	for i := range realistic {
-		label := realistic[i].Label()
-		row := []any{label}
-		for _, g := range gens {
-			pess, err := s.MaxCoresCtx(ctx, pessimistic[i], g.N, 1)
-			if err != nil {
-				return nil, err
-			}
-			real, err := s.MaxCoresCtx(ctx, realistic[i], g.N, 1)
-			if err != nil {
-				return nil, err
-			}
-			opt, err := s.MaxCoresCtx(ctx, optimistic[i], g.N, 1)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%d/%d/%d", pess, real, opt))
-			values[genKey(label, g.Ratio)] = float64(real)
+		pess := o.PointsFor(1 + i*3)
+		real := o.PointsFor(2 + i*3)
+		opt := o.PointsFor(3 + i*3)
+		row := []any{realistic[i].Label()}
+		for gi := range o.Gens {
+			row = append(row, fmt.Sprintf("%d/%d/%d", pess[gi].Cores, real[gi].Cores, opt[gi].Cores))
 		}
 		tb.AddRow(row...)
 	}
 
-	// Headline: the all-combined configuration's die share at 16x.
-	all := realistic[len(realistic)-1]
-	exact, err := s.SupportableCoresCtx(ctx, all, 256, 1)
-	if err != nil {
-		return nil, err
-	}
-	values["allcombined:area%@16x"] = 100 * scaling.CoreAreaFraction(all, 256, exact)
+	// Headline: the all-combined configuration's die share at 16x (the
+	// last generation of the last realistic case).
+	allPts := o.PointsFor(2 + (len(realistic)-1)*3)
+	values["allcombined:area%@16x"] = 100 * allPts[3].AreaFraction
 
 	return &Result{
 		ID:     "fig16",
@@ -195,39 +226,57 @@ func fig17Exp() Experiment {
 func runFig17(ctx context.Context, _ Options) (*Result, error) {
 	configs := []struct {
 		label string
-		stack technique.Stack
+		stack []technique.Spec
 	}{
-		{"BASE", technique.Combine()},
-		{"DRAM", technique.Combine(technique.DRAMCache{Density: 8})},
-		{"CC/LC + DRAM", technique.Combine(technique.CacheLinkCompression{Ratio: 2}, technique.DRAMCache{Density: 8})},
-		{"CC/LC + DRAM + 3D", technique.Combine(technique.CacheLinkCompression{Ratio: 2}, technique.DRAMCache{Density: 8}, technique.ThreeDCache{LayerDensity: 1})},
+		{"BASE", nil},
+		{"DRAM", []technique.Spec{{Name: "DRAM", Params: map[string]float64{"density": 8}}}},
+		{"CC/LC + DRAM", []technique.Spec{
+			{Name: "CC/LC", Params: map[string]float64{"ratio": 2}},
+			{Name: "DRAM", Params: map[string]float64{"density": 8}},
+		}},
+		{"CC/LC + DRAM + 3D", []technique.Spec{
+			{Name: "CC/LC", Params: map[string]float64{"ratio": 2}},
+			{Name: "DRAM", Params: map[string]float64{"density": 8}},
+			{Name: "3D", Params: map[string]float64{"density": 1}},
+		}},
 	}
 	alphas := []float64{0.25, 0.62}
-	gens := scaling.Generations(16, 4)
+	var cases []scenario.Case
+	for _, cfg := range configs {
+		for _, a := range alphas {
+			cases = append(cases, scenario.Case{
+				Label:    cfg.label,
+				Stack:    cfg.stack,
+				Alpha:    a,
+				ValueKey: fmt.Sprintf("%s:a=%.2f", cfg.label, a),
+			})
+		}
+	}
+	sp := &scenario.Spec{
+		ID:    "fig17",
+		Axis:  scenario.Axis{Generations: 4},
+		Cases: cases,
+	}
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &render.Table{
 		Title:   "Supportable cores: α = 0.25 vs α = 0.62",
 		Headers: []string{"configuration", "α", "2x", "4x", "8x", "16x"},
 	}
-	values := map[string]float64{}
 	idealRow := []any{"IDEAL", "-"}
-	for _, g := range gens {
+	for _, g := range o.Gens {
 		idealRow = append(idealRow, trim(8*g.Ratio))
 	}
 	tb.AddRow(idealRow...)
-	for _, cfg := range configs {
-		for _, a := range alphas {
-			s := scaling.MustNew(scalingBase(), a)
-			row := []any{cfg.label, a}
-			for _, g := range gens {
-				cores, err := s.MaxCoresCtx(ctx, cfg.stack, g.N, 1)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, cores)
-				values[fmt.Sprintf("%s:a=%.2f@%gx", cfg.label, a, g.Ratio)] = float64(cores)
-			}
-			tb.AddRow(row...)
+	for ci, c := range cases {
+		row := []any{c.Label, c.Alpha}
+		for _, pt := range o.PointsFor(ci) {
+			row = append(row, pt.Cores)
 		}
+		tb.AddRow(row...)
 	}
 	return &Result{
 		ID:     "fig17",
@@ -236,6 +285,6 @@ func runFig17(ctx context.Context, _ Options) (*Result, error) {
 		Notes: []string{
 			"paper: at BASE a large α enables almost twice the cores of a small α; with stacked techniques the gap widens further",
 		},
-		Values: values,
+		Values: o.Values,
 	}, nil
 }

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"context"
+
+	"repro/internal/scenario"
+)
+
+// The model-query figures (2–12, 15–17, the envelope extension) are thin
+// declarative scenario.Spec definitions evaluated by the scenario engine —
+// one code path for the paper's figures and `bandwall eval`'s user specs.
+// Each driver gets a fresh engine (and thus a fresh solver cache) so
+// fault-injection and retry behavior stay per-experiment; within a driver
+// the cache already collapses the repeated stacks the figures are full of.
+
+// evalScenario evaluates one spec on a fresh engine.
+func evalScenario(ctx context.Context, sp *scenario.Spec) (*scenario.Outcome, error) {
+	return scenario.NewEngine().Evaluate(ctx, sp)
+}
+
+// scenarioResult converts an outcome into the experiment result shape
+// using the scenario package's default rendering.
+func scenarioResult(o *scenario.Outcome) *Result {
+	tables, charts := o.Render()
+	title := o.Spec.Title
+	if title == "" {
+		title = o.Spec.ID
+	}
+	return &Result{
+		ID:     o.Spec.ID,
+		Title:  title,
+		Tables: tables,
+		Charts: charts,
+		Notes:  o.Spec.Notes,
+		Values: o.Values,
+	}
+}
+
+// runScenarioExp is the whole driver for figures that need no bespoke
+// post-processing: evaluate the spec, render the default report.
+func runScenarioExp(ctx context.Context, sp *scenario.Spec) (*Result, error) {
+	o, err := evalScenario(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	return scenarioResult(o), nil
+}
+
+// FromSpec wraps a user-supplied scenario spec as a registrable
+// experiment, so `bandwall eval` inherits the suite runner's workers,
+// retries, timeouts, checkpointing, and report/NDJSON outputs unchanged.
+func FromSpec(sp *scenario.Spec, eng *scenario.Engine) Experiment {
+	title := sp.Title
+	if title == "" {
+		title = sp.ID
+	}
+	return Experiment{
+		ID:    sp.ID,
+		Title: title,
+		Paper: sp.Description,
+		Run: func(ctx context.Context, _ Options) (*Result, error) {
+			o, err := eng.Evaluate(ctx, sp)
+			if err != nil {
+				return nil, err
+			}
+			return scenarioResult(o), nil
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package scaling
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/technique"
+)
+
+// The memoized solver-evaluation cache behind the scenario engine's batch
+// queries. Repeated sweeps evaluate the same (stack, chip, budget) triple
+// over and over — Fig 15's candles alone solve the BASE configuration four
+// times, and a user batch of what-if specs repeats stacks constantly — so
+// the engine funnels every solve through an EvalCache.
+//
+// The key is the canonical stack fingerprint: the stack's RESOLVED
+// technique.Params. Resolution is order-independent and collapses any
+// spelling of a stack ("CC=2 + LC=2" vs "CC/LC=2") with identical model
+// effect onto one entry, so the cache is exactly as sharp as the math.
+// Alongside the fingerprint the key carries everything else that
+// determines the root: the baseline allocation, α, the chip area, and the
+// traffic budget.
+
+// Fingerprint is the canonical identity of a technique stack for solver
+// memoization: its resolved parameter set. Two stacks with equal
+// Fingerprints produce identical traffic curves and therefore identical
+// solver answers.
+type Fingerprint struct {
+	Params technique.Params
+}
+
+// FingerprintOf resolves a stack to its canonical fingerprint.
+func FingerprintOf(st technique.Stack) Fingerprint {
+	return Fingerprint{Params: st.Params()}
+}
+
+// cacheKey is one memoized solver evaluation.
+type cacheKey struct {
+	fp     Fingerprint
+	baseP  float64
+	baseC  float64
+	alpha  float64
+	n2     float64
+	budget float64
+}
+
+// EvalCache memoizes successful SupportableCores evaluations. It is safe
+// for concurrent use by the engine's worker pool. Errors are never cached:
+// domain violations fail fast before any root finding, and injected or
+// transient faults must not poison later retries.
+type EvalCache struct {
+	mu sync.RWMutex
+	m  map[cacheKey]float64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+}
+
+// NewEvalCache returns an empty cache wired to the process obs registry
+// (scaling.cache.hits / scaling.cache.misses count across all solves).
+func NewEvalCache() *EvalCache {
+	return &EvalCache{
+		m:         make(map[cacheKey]float64),
+		obsHits:   obs.Default().Counter("scaling.cache.hits"),
+		obsMisses: obs.Default().Counter("scaling.cache.misses"),
+	}
+}
+
+// key builds the full memoization key for a solve on s.
+func (c *EvalCache) key(s Solver, fp Fingerprint, n2, budget float64) cacheKey {
+	base := s.Base()
+	return cacheKey{fp: fp, baseP: base.P, baseC: base.C, alpha: s.Alpha(), n2: n2, budget: budget}
+}
+
+// SupportableCoresCtx is Solver.SupportableCoresCtx memoized on the
+// canonical stack fingerprint. A nil receiver degrades to the uncached
+// solver call.
+func (c *EvalCache) SupportableCoresCtx(ctx context.Context, s Solver, st technique.Stack, n2, budget float64) (float64, error) {
+	if c == nil {
+		return s.SupportableCoresCtx(ctx, st, n2, budget)
+	}
+	return c.SupportableCoresFP(ctx, s, FingerprintOf(st), st, n2, budget)
+}
+
+// SupportableCoresFP is SupportableCoresCtx with the stack's fingerprint
+// precomputed by the caller. Batch evaluators resolving the same stack at
+// many axis points fingerprint it once instead of per cell (resolving
+// Params dominates a cache hit otherwise). fp must be FingerprintOf(st).
+func (c *EvalCache) SupportableCoresFP(ctx context.Context, s Solver, fp Fingerprint, st technique.Stack, n2, budget float64) (float64, error) {
+	if c == nil {
+		return s.SupportableCoresCtx(ctx, st, n2, budget)
+	}
+	k := c.key(s, fp, n2, budget)
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		return v, nil
+	}
+	c.misses.Add(1)
+	c.obsMisses.Inc()
+	v, err := s.SupportableCoresCtx(ctx, st, n2, budget)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// MaxCoresCtx is Solver.MaxCoresCtx through the cache: the exact solution
+// is memoized once and floored with the shared CoresFromExact rule, so a
+// cores query after an exact query costs no extra solve (and vice versa).
+func (c *EvalCache) MaxCoresCtx(ctx context.Context, s Solver, st technique.Stack, n2, budget float64) (int, error) {
+	p, err := c.SupportableCoresCtx(ctx, s, st, n2, budget)
+	if err != nil {
+		return 0, err
+	}
+	return CoresFromExact(p), nil
+}
+
+// Stats returns the cache's hit and miss counts.
+func (c *EvalCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of memoized evaluations.
+func (c *EvalCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -135,13 +135,20 @@ func (s Solver) MaxCoresCtx(ctx context.Context, st technique.Stack, n2, budget 
 	if err != nil {
 		return 0, err
 	}
-	// Guard against floating-point answers like 15.999999999998 when the
-	// true fixed point is integral (several paper cases are exact).
+	return CoresFromExact(p), nil
+}
+
+// CoresFromExact converts an exact (fractional) supportable-core solution
+// into the whole-core reading the paper uses: ⌊p⌋, with a snap guard
+// against floating-point answers like 15.999999999998 when the true fixed
+// point is integral (several paper cases are exact). It is the shared
+// flooring rule of MaxCores and the scenario engine's cached evaluations.
+func CoresFromExact(p float64) int {
 	const snap = 1e-6
 	if frac := p - math.Floor(p); frac > 1-snap {
-		return int(math.Floor(p)) + 1, nil
+		return int(math.Floor(p)) + 1
 	}
-	return int(math.Floor(p)), nil
+	return int(math.Floor(p))
 }
 
 // CoreAreaFraction returns the fraction of the (processor-die) area used by

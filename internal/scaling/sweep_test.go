@@ -1,10 +1,13 @@
 package scaling
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/robust"
 	"repro/internal/technique"
 )
 
@@ -179,6 +182,83 @@ func TestBreakEvenSharingEdgeCases(t *testing.T) {
 	}
 	if _, err := s.BreakEvenSharing(32, 32, 1); err == nil {
 		t.Error("want error for p2=n2")
+	}
+}
+
+func TestEnvelopeIntersectionEdgeCases(t *testing.T) {
+	s := Default()
+	ctx := context.Background()
+
+	// Non-bracketing budget: even a near-zero-core chip exceeds it (traffic
+	// ~ p^(1+α) at the bracket's low end, but never zero), so the solve
+	// fails before root finding with a permanent domain error.
+	if _, err := s.EnvelopeIntersectionCtx(ctx, 32, 1e-18); !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("unreachable budget: err = %v, want robust.ErrDomain", err)
+	} else if robust.Classify(err) != robust.Permanent {
+		t.Errorf("unreachable budget classified %v, want Permanent", robust.Classify(err))
+	}
+
+	// Invalid inputs propagate ErrDomain too.
+	if _, err := s.EnvelopeIntersectionCtx(ctx, -4, 1); !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("negative n2: err = %v, want robust.ErrDomain", err)
+	}
+	if _, err := s.EnvelopeIntersectionCtx(ctx, 32, 0); !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("zero budget: err = %v, want robust.ErrDomain", err)
+	}
+
+	// Canceled context mid-solve: classified Canceled, never Permanent, so
+	// callers retry rather than discard the case.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err := s.EnvelopeIntersectionCtx(canceled, 32, 1)
+	if err == nil {
+		t.Fatal("canceled context: want error")
+	}
+	if robust.Classify(err) != robust.Canceled {
+		t.Errorf("canceled context classified %v (err %v), want Canceled", robust.Classify(err), err)
+	}
+
+	// A live context still solves (the canceled run left no bad state).
+	p, err := s.EnvelopeIntersectionCtx(ctx, 32, 1)
+	if err != nil || math.Floor(p) != 11 {
+		t.Errorf("post-cancel solve = %v, %v; want ⌊·⌋ = 11", p, err)
+	}
+}
+
+func TestBreakEvenSharingCtxEdgeCases(t *testing.T) {
+	s := Default()
+
+	// Non-bracketing budget: full sharing still exceeds it → ErrDomain.
+	if _, err := s.BreakEvenSharingCtx(context.Background(), 32, 31.9, 0.001); !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("hopeless budget: err = %v, want robust.ErrDomain", err)
+	}
+	// Out-of-range cores → ErrDomain.
+	for _, p2 := range []float64{0, -1, 32, 40} {
+		if _, err := s.BreakEvenSharingCtx(context.Background(), 32, p2, 1); !errors.Is(err, robust.ErrDomain) {
+			t.Errorf("p2=%g: err = %v, want robust.ErrDomain", p2, err)
+		}
+	}
+
+	// Canceled context mid-solve. Pick inputs that genuinely bracket a root
+	// (16 cores on 32 CEAs needs ≈40% sharing) so the failure comes from the
+	// root finder honouring ctx, not from an early domain check.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.BreakEvenSharingCtx(canceled, 32, 16, 1)
+	if err == nil {
+		t.Fatal("canceled context: want error")
+	}
+	if robust.Classify(err) != robust.Canceled {
+		t.Errorf("canceled context classified %v (err %v), want Canceled", robust.Classify(err), err)
+	}
+
+	// Same inputs, live context: succeeds at the Fig 13 value.
+	fsh, err := s.BreakEvenSharingCtx(context.Background(), 32, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fsh-0.40) > 0.01 {
+		t.Errorf("f_sh = %v, want ≈0.40", fsh)
 	}
 }
 

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/technique"
+)
+
+// benchSpec is a broad parameter sweep — 24 distinct stacks across four
+// generations, 96 solver cells. Re-evaluating it (the repeated-stack case:
+// a re-run, or a batch of specs sharing stacks) must come from the cache.
+func benchSpec() *Spec {
+	var cases []Case
+	for i := 0; i < 8; i++ {
+		cc := 1.2 + 0.3*float64(i)
+		dram := 2 + float64(i)
+		cases = append(cases,
+			Case{Stack: []technique.Spec{{Name: "CC", Params: map[string]float64{"ratio": cc}}}},
+			Case{Stack: []technique.Spec{{Name: "LC", Params: map[string]float64{"ratio": cc}}}},
+			Case{Stack: []technique.Spec{{Name: "DRAM", Params: map[string]float64{"density": dram}}}},
+		)
+	}
+	return &Spec{ID: "bench", Axis: Axis{Generations: 4}, Cases: cases}
+}
+
+// BenchmarkScenarioEval compares a cold cache (rebuilt every evaluation)
+// against a warm one (shared across evaluations) on the repeated-stack
+// sweep. The memoized cache must make the warm path ≥2× faster — after
+// the first evaluation every cell is a hit.
+func BenchmarkScenarioEval(b *testing.B) {
+	sp := benchSpec()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine()
+			if _, err := e.Evaluate(context.Background(), sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := NewEngine()
+		if _, err := e.Evaluate(context.Background(), sp); err != nil {
+			b.Fatal(err) // prime the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Evaluate(context.Background(), sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestWarmCacheSkipsSolves is the non-flaky core of the benchmark claim:
+// after one evaluation, a re-evaluation of the same spec performs zero
+// fresh solves.
+func TestWarmCacheSkipsSolves(t *testing.T) {
+	e := NewEngine()
+	sp := benchSpec()
+	if _, err := e.Evaluate(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.Evaluate(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CacheMisses != 0 {
+		t.Errorf("warm run missed %d times, want 0", o.CacheMisses)
+	}
+	if o.CacheHits != uint64(len(o.Points)) {
+		t.Errorf("warm run hits = %d, want %d", o.CacheHits, len(o.Points))
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+)
+
+// Render builds the outcome's default report: a table (and bar chart) in
+// the same shape the figure drivers use, so `bandwall eval` output reads
+// like the built-in experiments.
+//
+// A single-point axis renders one row per case ("configuration / cores /
+// exact / scenario", the Figs 4–12 skeleton); a multi-point axis renders
+// one column per axis entry ("configuration / 2x / 4x / …", the Figs 15–17
+// skeleton).
+func (o *Outcome) Render() ([]*render.Table, []*render.Chart) {
+	if len(o.Gens) == 1 {
+		return o.renderSweep()
+	}
+	return o.renderGenerations()
+}
+
+func (o *Outcome) renderSweep() ([]*render.Table, []*render.Chart) {
+	g := o.Gens[0]
+	title := fmt.Sprintf("Supportable cores on %g CEAs", g.N)
+	if o.Spec.envelope() == 1 && !o.Spec.Budget.Compound {
+		title += ", constant traffic"
+	}
+	tb := &render.Table{
+		Title:   title,
+		Headers: []string{"configuration", "cores", "exact", "scenario"},
+	}
+	var xs, ys []float64
+	for ci, c := range o.Spec.Cases {
+		pt := o.PointsFor(ci)[0]
+		tb.AddRow(c.label(), pt.Cores, pt.Exact, c.Scenario)
+		xs = append(xs, float64(ci))
+		ys = append(ys, float64(pt.Cores))
+	}
+	chart := &render.Chart{
+		Title: o.title() + " (bar heights by sweep index)", Width: 50, Height: 12,
+		Series: []render.Series{{Name: "cores", X: xs, Y: ys}},
+	}
+	return []*render.Table{tb}, []*render.Chart{chart}
+}
+
+func (o *Outcome) renderGenerations() ([]*render.Table, []*render.Chart) {
+	headers := []string{"configuration"}
+	for _, g := range o.Gens {
+		headers = append(headers, TrimFloat(g.Ratio)+"x")
+	}
+	tb := &render.Table{Title: "Supportable cores per generation", Headers: headers}
+	var series []render.Series
+	for ci, c := range o.Spec.Cases {
+		row := []any{c.label()}
+		var xs, ys []float64
+		for _, pt := range o.PointsFor(ci) {
+			row = append(row, pt.Cores)
+			xs = append(xs, pt.Gen.Ratio)
+			ys = append(ys, float64(pt.Cores))
+		}
+		tb.AddRow(row...)
+		series = append(series, render.Series{Name: c.label(), X: xs, Y: ys})
+	}
+	var charts []*render.Chart
+	// Charts stay legible up to a handful of series; beyond that the table
+	// carries the data alone.
+	if len(series) <= 4 {
+		charts = append(charts, &render.Chart{
+			Title: o.title() + " (cores vs scaling ratio)", LogX: true, Width: 56, Height: 14,
+			Series: series,
+		})
+	}
+	return []*render.Table{tb}, charts
+}
+
+func (o *Outcome) title() string {
+	if o.Spec.Title != "" {
+		return o.Spec.Title
+	}
+	return o.Spec.ID
+}

@@ -1,0 +1,306 @@
+// Package scenario turns the paper's figure drivers into data: a Spec is a
+// declarative, JSON-round-trippable description of a model query — solver
+// constants, a technique stack named via the technique registry, a sweep
+// axis, and a traffic-budget envelope — and Engine evaluates any Spec
+// through a memoized solver cache. The exp figure drivers are thin Spec
+// definitions over this engine, and `bandwall eval` accepts user-written
+// Specs, so arbitrary what-if queries run through exactly the code path
+// the reproduced figures use.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/robust"
+	"repro/internal/scaling"
+	"repro/internal/technique"
+)
+
+// Spec is one declarative scenario: which solver, which budget envelope,
+// which chip-size axis, and which technique-stack cases to evaluate on it.
+// The zero value of every optional field means "the paper's default".
+type Spec struct {
+	// ID identifies the scenario in reports and checkpoints (like an
+	// experiment ID). Required.
+	ID string `json:"id"`
+	// Title is the human heading; defaults to ID.
+	Title string `json:"title,omitempty"`
+	// Description documents intent; surfaced by `bandwall list`-style output.
+	Description string `json:"description,omitempty"`
+	// Notes are carried verbatim into the rendered report.
+	Notes []string `json:"notes,omitempty"`
+
+	// Baseline is the reference allocation (P1 cores, C1 cache CEAs).
+	// Nil means the paper's balanced 8-core/8-CEA baseline.
+	Baseline *Baseline `json:"baseline,omitempty"`
+	// Alpha is the workload's power-law exponent; 0 means the paper's 0.5.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Budget is the traffic envelope all cases inherit.
+	Budget Budget `json:"budget,omitempty"`
+	// Axis selects the chip sizes to sweep. Exactly one axis kind must be set.
+	Axis Axis `json:"axis"`
+	// Cases are the stacks to evaluate at every axis point.
+	Cases []Case `json:"cases"`
+}
+
+// Baseline mirrors power.Config for JSON.
+type Baseline struct {
+	P float64 `json:"p"` // baseline cores
+	C float64 `json:"c"` // baseline cache CEAs
+}
+
+// Budget is the bandwidth envelope: traffic may grow to Envelope × the
+// baseline's. With Compound set, an axis point at generation index g gets
+// Envelope^g instead — §5.1's per-generation envelope growth.
+type Budget struct {
+	Envelope float64 `json:"envelope,omitempty"` // 0 means the constant envelope (1.0)
+	Compound bool    `json:"compound,omitempty"`
+}
+
+// Axis is the sweep's x-axis. Exactly one field may be set:
+//
+//   - N2: explicit chip sizes in CEAs (Figs 4–12 use the single point 32);
+//   - Ratios: scaling ratios vs the baseline area (Fig 3's 1x..128x);
+//   - Generations: that many area-doubling generations (Figs 15–17's 2x..16x).
+type Axis struct {
+	N2          []float64 `json:"n2,omitempty"`
+	Ratios      []float64 `json:"ratios,omitempty"`
+	Generations int       `json:"generations,omitempty"`
+}
+
+// Case is one configuration evaluated across the axis: a technique stack
+// plus optional per-case overrides of the spec's solver constants.
+type Case struct {
+	// Label names the row; defaults to the stack's label.
+	Label string `json:"label,omitempty"`
+	// Stack lists the techniques by registry name. Empty means BASE.
+	Stack []technique.Spec `json:"stack,omitempty"`
+	// Assumption, when set ("pessimistic", "realistic", "optimistic"),
+	// fills each stack entry's missing parameters from Table 2's column for
+	// that assumption instead of the realistic default.
+	Assumption string `json:"assumption,omitempty"`
+	// Alpha overrides the spec's α for this case (Fig 17's sensitivity rows).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Budget overrides the spec's envelope for this case; the spec's
+	// Compound flag still applies.
+	Budget float64 `json:"budget,omitempty"`
+	// ValueKey, when non-empty, records the solved core count in the
+	// outcome's Values: under the key itself for a single-point axis, or
+	// under GenKey(ValueKey, ratio) per axis point otherwise.
+	ValueKey string `json:"value_key,omitempty"`
+	// Scenario tags the paper's pessimistic/realistic/optimistic marker in
+	// rendered tables.
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// errf builds a robust.ErrDomain-classified spec error: a bad spec is a
+// permanent input problem, never retried.
+func errf(format string, a ...any) error {
+	return fmt.Errorf("scenario: "+format+": %w", append(a, robust.ErrDomain)...)
+}
+
+// Validate checks the spec's structure: ID present, exactly one axis kind,
+// positive sizes, at least one case, buildable stacks, known assumptions.
+func (sp *Spec) Validate() error {
+	if err := sp.validateStructure(); err != nil {
+		return err
+	}
+	for i, c := range sp.Cases {
+		if _, err := c.BuildStack(); err != nil {
+			return fmt.Errorf("scenario: %s: case %d (%s): %w", sp.ID, i, c.Label, err)
+		}
+	}
+	return nil
+}
+
+// validateStructure is Validate without building the stacks — the engine
+// uses it so each stack is built exactly once per evaluation.
+func (sp *Spec) validateStructure() error {
+	if strings.TrimSpace(sp.ID) == "" {
+		return errf("spec needs an id")
+	}
+	axes := 0
+	if len(sp.Axis.N2) > 0 {
+		axes++
+		for _, n2 := range sp.Axis.N2 {
+			if !(n2 > 0) {
+				return errf("%s: axis n2 entries must be positive, got %g", sp.ID, n2)
+			}
+		}
+	}
+	if len(sp.Axis.Ratios) > 0 {
+		axes++
+		for _, r := range sp.Axis.Ratios {
+			if !(r > 0) {
+				return errf("%s: axis ratios must be positive, got %g", sp.ID, r)
+			}
+		}
+	}
+	if sp.Axis.Generations != 0 {
+		axes++
+		if sp.Axis.Generations < 0 {
+			return errf("%s: axis generations must be positive, got %d", sp.ID, sp.Axis.Generations)
+		}
+	}
+	if axes != 1 {
+		return errf("%s: exactly one of axis.n2, axis.ratios, axis.generations must be set", sp.ID)
+	}
+	if sp.Baseline != nil && (!(sp.Baseline.P > 0) || sp.Baseline.C < 0) {
+		return errf("%s: baseline needs p > 0 and c ≥ 0, got p=%g c=%g", sp.ID, sp.Baseline.P, sp.Baseline.C)
+	}
+	if sp.Alpha < 0 {
+		return errf("%s: alpha must be non-negative, got %g", sp.ID, sp.Alpha)
+	}
+	if sp.Budget.Envelope < 0 {
+		return errf("%s: budget envelope must be non-negative, got %g", sp.ID, sp.Budget.Envelope)
+	}
+	if len(sp.Cases) == 0 {
+		return errf("%s: spec needs at least one case", sp.ID)
+	}
+	for i, c := range sp.Cases {
+		if c.Alpha < 0 || c.Budget < 0 {
+			return errf("%s: case %d (%s): negative override", sp.ID, i, c.Label)
+		}
+	}
+	return nil
+}
+
+// baseline resolves the reference allocation.
+func (sp *Spec) baseline() power.Config {
+	if sp.Baseline == nil {
+		return power.Baseline()
+	}
+	return power.Config{P: sp.Baseline.P, C: sp.Baseline.C}
+}
+
+// alpha resolves the spec-level workload exponent.
+func (sp *Spec) alpha() float64 {
+	if sp.Alpha == 0 {
+		return power.AlphaDefault
+	}
+	return sp.Alpha
+}
+
+// envelope resolves the spec-level budget envelope.
+func (sp *Spec) envelope() float64 {
+	if sp.Budget.Envelope == 0 {
+		return 1
+	}
+	return sp.Budget.Envelope
+}
+
+// axisGens expands the axis into concrete generations relative to the
+// baseline area. Explicit N2 points get 1-based indices and the implied
+// ratio; the other kinds delegate to the scaling package's constructors so
+// indices (and therefore compounding budgets) match the figure drivers.
+func (sp *Spec) axisGens(baseN float64) []scaling.Generation {
+	switch {
+	case len(sp.Axis.N2) > 0:
+		out := make([]scaling.Generation, len(sp.Axis.N2))
+		for i, n2 := range sp.Axis.N2 {
+			out[i] = scaling.Generation{Index: i + 1, Ratio: n2 / baseN, N: n2}
+		}
+		return out
+	case len(sp.Axis.Ratios) > 0:
+		return scaling.ScalingRatios(baseN, sp.Axis.Ratios)
+	default:
+		return scaling.Generations(baseN, sp.Axis.Generations)
+	}
+}
+
+// ParseAssumption maps a spec string onto Table 2's assumption columns.
+func ParseAssumption(s string) (technique.Assumption, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "pessimistic", "pess":
+		return technique.Pessimistic, nil
+	case "", "realistic", "real":
+		return technique.Realistic, nil
+	case "optimistic", "opt":
+		return technique.Optimistic, nil
+	}
+	return 0, errf("unknown assumption %q (want pessimistic, realistic, or optimistic)", s)
+}
+
+// BuildStack constructs the case's technique stack. With an Assumption set,
+// entries without explicit parameters take that assumption's Table 2
+// defaults; explicit parameters always win.
+func (c Case) BuildStack() (technique.Stack, error) {
+	if c.Assumption == "" {
+		return technique.BuildStack(c.Stack)
+	}
+	a, err := ParseAssumption(c.Assumption)
+	if err != nil {
+		return technique.Stack{}, err
+	}
+	ts := make([]technique.Technique, 0, len(c.Stack))
+	for i, tsp := range c.Stack {
+		var t technique.Technique
+		if len(tsp.Params) == 0 {
+			t, err = technique.BuildDefault(tsp.Name, a)
+		} else {
+			t, err = technique.Build(tsp)
+		}
+		if err != nil {
+			return technique.Stack{}, fmt.Errorf("stack[%d]: %w", i, err)
+		}
+		ts = append(ts, t)
+	}
+	return technique.Combine(ts...), nil
+}
+
+// label resolves the case's display label.
+func (c Case) label() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	st, err := c.BuildStack()
+	if err != nil {
+		return "(invalid)"
+	}
+	return st.Label()
+}
+
+// ParseSpec decodes and validates one JSON scenario spec. Decoding is
+// strict: unknown fields are rejected, so typos in hand-written specs fail
+// loudly instead of silently evaluating the default.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, errf("decoding spec: %v", err)
+	}
+	// Reject trailing garbage after the spec object.
+	if dec.More() {
+		return nil, errf("spec %s: trailing data after JSON object", sp.ID)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// MarshalIndentSpec renders a spec as canonical indented JSON (the format
+// of examples/scenarios/*.json).
+func MarshalIndentSpec(sp *Spec) ([]byte, error) {
+	return json.MarshalIndent(sp, "", "  ")
+}
+
+// GenKey builds the Values key convention shared with the figure drivers:
+// "prefix@RATIOx", e.g. "cores@16x" or "CC:pess@2x".
+func GenKey(prefix string, ratio float64) string {
+	return prefix + "@" + TrimFloat(ratio) + "x"
+}
+
+// TrimFloat renders a float compactly: integers without a decimal point,
+// everything else with four decimals (the exp package's convention).
+func TrimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}

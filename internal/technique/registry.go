@@ -1,0 +1,330 @@
+package technique
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/robust"
+)
+
+// Spec is the serializable form of one technique: a catalog name plus typed
+// parameters. It is the unit the scenario engine and the CLI's JSON specs
+// round-trip; Build and ToSpec convert between Spec and Technique values.
+type Spec struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// String renders the spec compactly, e.g. "CC{ratio:2}".
+func (sp Spec) String() string {
+	if len(sp.Params) == 0 {
+		return sp.Name
+	}
+	keys := make([]string, 0, len(sp.Params))
+	for k := range sp.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%g", k, sp.Params[k])
+	}
+	return sp.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Builder constructs one technique family by name. Key names the primary
+// parameter (the one a compact "Label=value" spec sets); Defaults supplies
+// the per-assumption parameter values used when a spec omits them.
+type Builder struct {
+	Name    string   // canonical name: the paper's x-axis label ("CC", "CC/LC", "Shr")
+	Aliases []string // accepted alternate spellings (case-insensitive, like Name)
+	Key     string   // primary parameter key ("ratio", "density", "unused", "shrink", "shared")
+	Doc     string   // one-line parameter documentation
+	// Defaults returns the parameter map for the given assumption (Table 2's
+	// pessimistic/realistic/optimistic columns; single-point techniques
+	// ignore the assumption).
+	Defaults func(a Assumption) map[string]float64
+	// ParseParams validates p and builds the technique. Unknown keys and
+	// out-of-domain values fail with robust.ErrDomain.
+	ParseParams func(p map[string]float64) (Technique, error)
+}
+
+// specErrf builds a robust.ErrDomain-classified construction error.
+func specErrf(format string, a ...any) error {
+	return fmt.Errorf("technique: "+format+": %w", append(a, robust.ErrDomain)...)
+}
+
+// oneParam extracts the single allowed parameter key from p, falling back
+// to def when absent. Any other key is a domain error.
+func oneParam(name, key string, p map[string]float64, def float64) (float64, error) {
+	v := def
+	for k, kv := range p {
+		if k != key {
+			return 0, specErrf("%s: unknown parameter %q (want %q)", name, k, key)
+		}
+		v = kv
+	}
+	return v, nil
+}
+
+// ratioBuilder covers the ≥1 multiplicative techniques (CC, LC, CC/LC, DRAM, 3D).
+func ratioBuilder(name string, aliases []string, key, doc string, min float64, defs [3]float64, mk func(v float64) Technique) Builder {
+	return Builder{
+		Name: name, Aliases: aliases, Key: key, Doc: doc,
+		Defaults: func(a Assumption) map[string]float64 {
+			return map[string]float64{key: pick(a, defs[0], defs[1], defs[2])}
+		},
+		ParseParams: func(p map[string]float64) (Technique, error) {
+			v, err := oneParam(name, key, p, pick(Realistic, defs[0], defs[1], defs[2]))
+			if err != nil {
+				return nil, err
+			}
+			if !(v >= min) {
+				return nil, specErrf("%s: %s must be ≥ %g, got %g", name, key, min, v)
+			}
+			return mk(v), nil
+		},
+	}
+}
+
+// fracBuilder covers the [0,1) fraction techniques (Fltr, Sect, SmCl, Shr, ShrPriv).
+func fracBuilder(name string, aliases []string, key, doc string, defs [3]float64, mk func(v float64) Technique) Builder {
+	return Builder{
+		Name: name, Aliases: aliases, Key: key, Doc: doc,
+		Defaults: func(a Assumption) map[string]float64 {
+			return map[string]float64{key: pick(a, defs[0], defs[1], defs[2])}
+		},
+		ParseParams: func(p map[string]float64) (Technique, error) {
+			v, err := oneParam(name, key, p, defs[1])
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v >= 1 {
+				return nil, specErrf("%s: %s must be in [0,1), got %g", name, key, v)
+			}
+			return mk(v), nil
+		},
+	}
+}
+
+// Builders is the by-name construction registry: every technique the model
+// knows, keyed by its canonical catalog name. The first nine rows mirror
+// Table 2 (and the Catalog variable); Shr/ShrPriv extend it with the §6.3
+// data-sharing models.
+var Builders = []Builder{
+	ratioBuilder("CC", nil, "ratio", "cache compression ratio (effective capacity multiplier)", 1,
+		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return CacheCompression{Ratio: v} }),
+	ratioBuilder("DRAM", nil, "density", "DRAM L2 storage density vs SRAM", 1,
+		[3]float64{4, 8, 16}, func(v float64) Technique { return DRAMCache{Density: v} }),
+	ratioBuilder("3D", nil, "density", "3D-stacked cache die density vs SRAM (1 = SRAM layer)", 1,
+		[3]float64{1, 1, 1}, func(v float64) Technique { return ThreeDCache{LayerDensity: v} }),
+	fracBuilder("Fltr", nil, "unused", "fraction of cached data never referenced, filtered out",
+		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return UnusedDataFilter{Unused: v} }),
+	{
+		Name: "SmCo", Key: "shrink", Doc: "core shrink factor k (core area becomes 1/k CEA)",
+		Defaults: func(a Assumption) map[string]float64 {
+			return map[string]float64{"shrink": pick(a, 9, 40, 80)}
+		},
+		ParseParams: func(p map[string]float64) (Technique, error) {
+			v, err := oneParam("SmCo", "shrink", p, 40)
+			if err != nil {
+				return nil, err
+			}
+			if !(v >= 1) {
+				return nil, specErrf("SmCo: shrink must be ≥ 1, got %g", v)
+			}
+			return SmallerCores{AreaFraction: 1 / v}, nil
+		},
+	},
+	ratioBuilder("LC", nil, "ratio", "link compression ratio (effective bandwidth multiplier)", 1,
+		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return LinkCompression{Ratio: v} }),
+	fracBuilder("Sect", nil, "unused", "fraction of fetched line data never referenced, not fetched",
+		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return SectoredCache{Unused: v} }),
+	fracBuilder("SmCl", nil, "unused", "fraction of line data never referenced, neither fetched nor stored",
+		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return SmallCacheLines{Unused: v} }),
+	ratioBuilder("CC/LC", []string{"CCLC"}, "ratio", "compression ratio applied to both cache and link", 1,
+		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return CacheLinkCompression{Ratio: v} }),
+	fracBuilder("Shr", nil, "shared", "fraction of cached data shared by all threads (shared L2)",
+		[3]float64{0.4, 0.4, 0.4}, func(v float64) Technique { return DataSharing{SharedFrac: v} }),
+	fracBuilder("ShrPriv", []string{"Shr(priv)"}, "shared", "shared data fraction with private, replicating L2s",
+		[3]float64{0.4, 0.4, 0.4}, func(v float64) Technique { return DataSharingPrivate{SharedFrac: v} }),
+}
+
+// BuilderByName resolves a canonical name or alias, case-insensitively.
+func BuilderByName(name string) (Builder, bool) {
+	for _, b := range Builders {
+		if strings.EqualFold(b.Name, name) {
+			return b, true
+		}
+		for _, al := range b.Aliases {
+			if strings.EqualFold(al, name) {
+				return b, true
+			}
+		}
+	}
+	return Builder{}, false
+}
+
+// BuilderNames lists the canonical names in registry order (for error
+// messages and documentation).
+func BuilderNames() []string {
+	out := make([]string, len(Builders))
+	for i, b := range Builders {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Build constructs one technique from its spec. Unknown names and invalid
+// parameters fail with errors wrapping robust.ErrDomain.
+func Build(sp Spec) (Technique, error) {
+	b, ok := BuilderByName(sp.Name)
+	if !ok {
+		return nil, specErrf("unknown technique %q (want one of %s)",
+			sp.Name, strings.Join(BuilderNames(), ", "))
+	}
+	return b.ParseParams(sp.Params)
+}
+
+// BuildDefault constructs the named technique with its Table 2 parameters
+// under the given assumption.
+func BuildDefault(name string, a Assumption) (Technique, error) {
+	b, ok := BuilderByName(name)
+	if !ok {
+		return nil, specErrf("unknown technique %q (want one of %s)",
+			name, strings.Join(BuilderNames(), ", "))
+	}
+	return b.ParseParams(b.Defaults(a))
+}
+
+// BuildStack constructs a Stack from specs; an empty list is BASE.
+func BuildStack(specs []Spec) (Stack, error) {
+	ts := make([]Technique, 0, len(specs))
+	for i, sp := range specs {
+		t, err := Build(sp)
+		if err != nil {
+			return Stack{}, fmt.Errorf("stack[%d]: %w", i, err)
+		}
+		ts = append(ts, t)
+	}
+	return Combine(ts...), nil
+}
+
+// ToSpec serializes a technique back into its Spec. Every catalog technique
+// implements the round trip via its MarshalParams method.
+func ToSpec(t Technique) (Spec, error) {
+	m, ok := t.(interface {
+		SpecName() string
+		MarshalParams() map[string]float64
+	})
+	if !ok {
+		return Spec{}, specErrf("technique %T is not spec-serializable", t)
+	}
+	return Spec{Name: m.SpecName(), Params: m.MarshalParams()}, nil
+}
+
+// StackSpecs serializes every member of a stack.
+func StackSpecs(st Stack) ([]Spec, error) {
+	ts := st.Techniques()
+	out := make([]Spec, 0, len(ts))
+	for _, t := range ts {
+		sp, err := ToSpec(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// SpecName / MarshalParams implementations: the serialization half of the
+// by-name registry. Each returns the canonical Spec that Build inverts.
+
+// SpecName implements spec serialization for CacheCompression.
+func (CacheCompression) SpecName() string { return "CC" }
+
+// MarshalParams implements spec serialization for CacheCompression.
+func (t CacheCompression) MarshalParams() map[string]float64 {
+	return map[string]float64{"ratio": t.Ratio}
+}
+
+// SpecName implements spec serialization for DRAMCache.
+func (DRAMCache) SpecName() string { return "DRAM" }
+
+// MarshalParams implements spec serialization for DRAMCache.
+func (t DRAMCache) MarshalParams() map[string]float64 {
+	return map[string]float64{"density": t.Density}
+}
+
+// SpecName implements spec serialization for ThreeDCache.
+func (ThreeDCache) SpecName() string { return "3D" }
+
+// MarshalParams implements spec serialization for ThreeDCache.
+func (t ThreeDCache) MarshalParams() map[string]float64 {
+	return map[string]float64{"density": t.LayerDensity}
+}
+
+// SpecName implements spec serialization for UnusedDataFilter.
+func (UnusedDataFilter) SpecName() string { return "Fltr" }
+
+// MarshalParams implements spec serialization for UnusedDataFilter.
+func (t UnusedDataFilter) MarshalParams() map[string]float64 {
+	return map[string]float64{"unused": t.Unused}
+}
+
+// SpecName implements spec serialization for SmallerCores.
+func (SmallerCores) SpecName() string { return "SmCo" }
+
+// MarshalParams implements spec serialization for SmallerCores.
+func (t SmallerCores) MarshalParams() map[string]float64 {
+	return map[string]float64{"shrink": 1 / t.AreaFraction}
+}
+
+// SpecName implements spec serialization for LinkCompression.
+func (LinkCompression) SpecName() string { return "LC" }
+
+// MarshalParams implements spec serialization for LinkCompression.
+func (t LinkCompression) MarshalParams() map[string]float64 {
+	return map[string]float64{"ratio": t.Ratio}
+}
+
+// SpecName implements spec serialization for SectoredCache.
+func (SectoredCache) SpecName() string { return "Sect" }
+
+// MarshalParams implements spec serialization for SectoredCache.
+func (t SectoredCache) MarshalParams() map[string]float64 {
+	return map[string]float64{"unused": t.Unused}
+}
+
+// SpecName implements spec serialization for SmallCacheLines.
+func (SmallCacheLines) SpecName() string { return "SmCl" }
+
+// MarshalParams implements spec serialization for SmallCacheLines.
+func (t SmallCacheLines) MarshalParams() map[string]float64 {
+	return map[string]float64{"unused": t.Unused}
+}
+
+// SpecName implements spec serialization for CacheLinkCompression.
+func (CacheLinkCompression) SpecName() string { return "CC/LC" }
+
+// MarshalParams implements spec serialization for CacheLinkCompression.
+func (t CacheLinkCompression) MarshalParams() map[string]float64 {
+	return map[string]float64{"ratio": t.Ratio}
+}
+
+// SpecName implements spec serialization for DataSharing.
+func (DataSharing) SpecName() string { return "Shr" }
+
+// MarshalParams implements spec serialization for DataSharing.
+func (t DataSharing) MarshalParams() map[string]float64 {
+	return map[string]float64{"shared": t.SharedFrac}
+}
+
+// SpecName implements spec serialization for DataSharingPrivate.
+func (DataSharingPrivate) SpecName() string { return "ShrPriv" }
+
+// MarshalParams implements spec serialization for DataSharingPrivate.
+func (t DataSharingPrivate) MarshalParams() map[string]float64 {
+	return map[string]float64{"shared": t.SharedFrac}
+}

@@ -1,0 +1,180 @@
+package technique
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/robust"
+)
+
+func TestBuildEveryName(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		label string
+	}{
+		{Spec{Name: "CC", Params: map[string]float64{"ratio": 2}}, "CC"},
+		{Spec{Name: "DRAM", Params: map[string]float64{"density": 8}}, "DRAM"},
+		{Spec{Name: "3D", Params: map[string]float64{"density": 16}}, "3D"},
+		{Spec{Name: "Fltr", Params: map[string]float64{"unused": 0.4}}, "Fltr"},
+		{Spec{Name: "SmCo", Params: map[string]float64{"shrink": 40}}, "SmCo"},
+		{Spec{Name: "LC", Params: map[string]float64{"ratio": 3.5}}, "LC"},
+		{Spec{Name: "Sect", Params: map[string]float64{"unused": 0.1}}, "Sect"},
+		{Spec{Name: "SmCl", Params: map[string]float64{"unused": 0.8}}, "SmCl"},
+		{Spec{Name: "CC/LC", Params: map[string]float64{"ratio": 2.5}}, "CC/LC"},
+		{Spec{Name: "CCLC"}, "CC/LC"}, // alias, default params
+		{Spec{Name: "Shr", Params: map[string]float64{"shared": 0.63}}, "Shr"},
+		{Spec{Name: "ShrPriv", Params: map[string]float64{"shared": 0.5}}, "Shr(priv)"},
+		{Spec{Name: "shr(PRIV)", Params: map[string]float64{"shared": 0.5}}, "Shr(priv)"}, // alias
+		{Spec{Name: "cc"}, "CC"}, // case-insensitive, default params
+	}
+	for _, tc := range cases {
+		tech, err := Build(tc.spec)
+		if err != nil {
+			t.Errorf("%v: %v", tc.spec, err)
+			continue
+		}
+		if tech.Label() != tc.label {
+			t.Errorf("%v: label %q, want %q", tc.spec, tech.Label(), tc.label)
+		}
+	}
+}
+
+func TestBuildDomainErrors(t *testing.T) {
+	bad := []Spec{
+		{Name: "Nope"},
+		{Name: "CC", Params: map[string]float64{"ratio": 0.5}},
+		{Name: "CC", Params: map[string]float64{"density": 2}}, // wrong key
+		{Name: "DRAM", Params: map[string]float64{"density": 0}},
+		{Name: "3D", Params: map[string]float64{"density": 0.5}},
+		{Name: "Fltr", Params: map[string]float64{"unused": 1}},
+		{Name: "Fltr", Params: map[string]float64{"unused": -0.1}},
+		{Name: "SmCo", Params: map[string]float64{"shrink": 0}},
+		{Name: "SmCo", Params: map[string]float64{"shrink": -4}},
+		{Name: "Shr", Params: map[string]float64{"shared": 1.2}},
+		{Name: "SmCl", Params: map[string]float64{"ratio": 2}}, // wrong key
+	}
+	for _, sp := range bad {
+		_, err := Build(sp)
+		if err == nil {
+			t.Errorf("%v: accepted", sp)
+			continue
+		}
+		if !errors.Is(err, robust.ErrDomain) {
+			t.Errorf("%v: error %v does not wrap robust.ErrDomain", sp, err)
+		}
+	}
+}
+
+func TestBuildDefaultMatchesCatalog(t *testing.T) {
+	// The registry's per-assumption defaults must agree with Table 2's
+	// Catalog constructors for every technique and assumption.
+	for _, entry := range Catalog {
+		for _, a := range Assumptions {
+			got, err := BuildDefault(entry.Label, a)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", entry.Label, a, err)
+			}
+			want := entry.New(a)
+			var pmGot, pmWant Params
+			pmGot, pmWant = Neutral(), Neutral()
+			got.Modify(&pmGot)
+			want.Modify(&pmWant)
+			if pmGot != pmWant {
+				t.Errorf("%s/%s: registry default %+v != catalog %+v", entry.Label, a, pmGot, pmWant)
+			}
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	// Build → ToSpec → Build must be the identity on resolved Params, and
+	// the Spec itself must survive JSON.
+	specs := []Spec{
+		{Name: "CC", Params: map[string]float64{"ratio": 1.7}},
+		{Name: "DRAM", Params: map[string]float64{"density": 16}},
+		{Name: "3D", Params: map[string]float64{"density": 8}},
+		{Name: "Fltr", Params: map[string]float64{"unused": 0.8}},
+		{Name: "SmCo", Params: map[string]float64{"shrink": 80}},
+		{Name: "LC", Params: map[string]float64{"ratio": 1.25}},
+		{Name: "Sect", Params: map[string]float64{"unused": 0.4}},
+		{Name: "SmCl", Params: map[string]float64{"unused": 0.1}},
+		{Name: "CC/LC", Params: map[string]float64{"ratio": 3.5}},
+		{Name: "Shr", Params: map[string]float64{"shared": 0.86}},
+		{Name: "ShrPriv", Params: map[string]float64{"shared": 0.53}},
+	}
+	for _, sp := range specs {
+		tech, err := Build(sp)
+		if err != nil {
+			t.Fatalf("%v: %v", sp, err)
+		}
+		back, err := ToSpec(tech)
+		if err != nil {
+			t.Fatalf("%v: ToSpec: %v", sp, err)
+		}
+		data, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded Spec
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		tech2, err := Build(decoded)
+		if err != nil {
+			t.Fatalf("%v: rebuild after JSON: %v", decoded, err)
+		}
+		pm1, pm2 := Neutral(), Neutral()
+		tech.Modify(&pm1)
+		tech2.Modify(&pm2)
+		if pm1 != pm2 {
+			t.Errorf("%v: params drifted across round trip: %+v vs %+v", sp, pm1, pm2)
+		}
+	}
+}
+
+func TestStackSpecsRoundTrip(t *testing.T) {
+	st := Combine(
+		CacheLinkCompression{Ratio: 2},
+		DRAMCache{Density: 8},
+		ThreeDCache{LayerDensity: 1},
+		SmallCacheLines{Unused: 0.4},
+	)
+	specs, err := StackSpecs(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	back, err := BuildStack(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Params() != st.Params() {
+		t.Errorf("stack params drifted: %+v vs %+v", back.Params(), st.Params())
+	}
+	if back.Label() != st.Label() {
+		t.Errorf("stack label drifted: %q vs %q", back.Label(), st.Label())
+	}
+}
+
+func TestBuildStackIndexInError(t *testing.T) {
+	_, err := BuildStack([]Spec{{Name: "CC"}, {Name: "Bogus"}})
+	if err == nil {
+		t.Fatal("bad stack accepted")
+	}
+	if !errors.Is(err, robust.ErrDomain) {
+		t.Errorf("stack error does not wrap robust.ErrDomain: %v", err)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	sp := Spec{Name: "CC/LC", Params: map[string]float64{"ratio": 2}}
+	if got := sp.String(); got != "CC/LC{ratio:2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Spec{Name: "3D"}).String(); got != "3D" {
+		t.Errorf("bare String = %q", got)
+	}
+}
