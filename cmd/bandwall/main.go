@@ -5,12 +5,17 @@
 // Usage:
 //
 //	bandwall list
-//	bandwall run [-quick] [-csv DIR] [-timeout D] [-retries N] [-checkpoint F] [-resume] <experiment-id>... | all
-//	bandwall eval [-csv DIR] [-metrics F] [-timeout D] [-checkpoint F] SPEC.json...
+//	bandwall run [suite flags] [-quick] <experiment-id>... | all
+//	bandwall eval [suite flags] SPEC.json...
+//	bandwall serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-quiet]
+//	bandwall loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
 //	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall bench [-json FILE] [-accesses N]
+//
+// The shared suite flags (run, eval) are -jobs, -csv, -json, -metrics,
+// -timings, -timeout, -retries, -backoff, -checkpoint, and -resume.
 //
 // Technique SPECs look like "CC/LC=2 + DRAM=8 + 3D + SmCl=0.4"; see
 // bandwall.ParseStack for the grammar.
@@ -97,6 +102,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdRun(ctx, args[1:], out)
 	case "eval":
 		return cmdEval(ctx, args[1:], out)
+	case "serve":
+		return cmdServe(ctx, args[1:], out)
+	case "loadgen":
+		return cmdLoadgen(ctx, args[1:], out)
 	case "cores":
 		return cmdCores(args[1:], out)
 	case "traffic":
@@ -125,19 +134,23 @@ func usage() {
 	fmt.Fprint(os.Stderr, `bandwall — "Scaling the Bandwidth Wall" (ISCA'09) reproduction
 
 subcommands:
-  list      list every figure/table reproduction
-  run       run reproductions:  run [-quick] [-csv DIR] [-metrics FILE] [-timings] fig02 fig15 | all
-  eval      evaluate scenario specs: eval examples/scenarios/stacked-compression.json
-  cores     supportable cores:  cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
-  traffic   relative traffic:   traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
-  sweep     generation sweep:   sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8" [-verbose]
-  trace     trace files:        trace gen|stats|sim (see trace -h)
+  list      list every figure/table reproduction (no flags)
+  run       run reproductions:       run [suite flags] [-quick] fig02 fig15 | all
+  eval      evaluate scenario specs: eval [suite flags] examples/scenarios/stacked-compression.json
+  serve     HTTP evaluation service: serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-quiet]
+  loadgen   drive a running server:  loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
+  cores     supportable cores:       cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
+  traffic   relative traffic:        traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
+  sweep     generation sweep:        sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8" [-verbose]
+  trace     trace files:             trace gen|stats|sim (see trace -h)
   report    run everything and emit a Markdown report
   selftest  verify every pinned paper number in seconds: selftest [SPEC.json...]
   bench     time brute-force vs single-pass miss-curve pipelines: bench [-json FILE] [-accesses N]
   fit       fit α to a miss-curve CSV and project core scaling
 
-robustness (run, eval): -timeout D  -retries N  -backoff D  -checkpoint FILE  -resume
+shared suite flags (run, eval):
+  -jobs N  -csv DIR  -json  -metrics FILE  -timings
+  -timeout D  -retries N  -backoff D  -checkpoint FILE  -resume
 profiling (run, eval, report): -cpuprofile FILE  -memprofile FILE  -trace FILE
 `)
 }

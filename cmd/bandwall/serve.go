@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// cmdServe runs the HTTP evaluation service until the process context
+// is canceled (SIGINT/SIGTERM), then drains in-flight requests and
+// exits cleanly — a SIGTERM'd server exits 0.
+func cmdServe(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	inflight := fs.Int("inflight", serve.DefaultMaxInflight, "max concurrently admitted eval/run requests (beyond: 429)")
+	timeout := fs.Duration("timeout", serve.DefaultEvalTimeout, "per-request solver deadline")
+	drain := fs.Duration("drain", serve.DefaultDrainTimeout, "graceful-shutdown drain budget")
+	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "response cache entries (negative disables)")
+	quiet := fs.Bool("quiet", false, "suppress per-request access logging")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if fs.NArg() > 0 {
+		return usagef("serve: unexpected argument %q", fs.Arg(0))
+	}
+
+	// The server always collects metrics: /metrics is an endpoint, not a
+	// debug flag. The registry is installed before NewServer so every
+	// instrument (including the engine's solver-cache counters) lands in it.
+	reg, restore := enableObs()
+	defer restore()
+	serve.RegisterObs(reg)
+
+	cfg := serve.Config{
+		MaxInflight:  *inflight,
+		EvalTimeout:  *timeout,
+		DrainTimeout: *drain,
+		CacheSize:    *cacheSize,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	s := serve.NewServer(cfg)
+	err := s.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(out, "bandwall serve: listening on http://%s (inflight %d, timeout %s, cache %d)\n",
+			a, *inflight, *timeout, *cacheSize)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bandwall serve: drained and stopped (%d solves, %d shared flights)\n",
+		s.Solves(), s.SharedFlights())
+	return nil
+}
+
+// serveBenchRecord is the BENCH_serve.json shape: the serving-path
+// throughput/latency baseline later PRs measure against.
+type serveBenchRecord struct {
+	Name      string             `json:"name"`
+	Date      string             `json:"date"`
+	URL       string             `json:"url"`
+	Path      string             `json:"path"`
+	Conns     int                `json:"conns"`
+	DurationS float64            `json:"duration_s"`
+	Result    serve.LoadgenResult `json:"result"`
+}
+
+// cmdLoadgen drives a running bandwall serve with a concurrent
+// closed-loop client and reports throughput and latency percentiles.
+func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
+	path := fs.String("path", "/v1/eval", "endpoint to hit")
+	specPath := fs.String("spec", "", "scenario spec file to POST (empty: GET the path)")
+	conns := fs.Int("c", 32, "concurrent closed-loop connections")
+	dur := fs.Duration("d", 5*time.Second, "measurement duration")
+	jsonPath := fs.String("json", "", "also record the result as JSON to `FILE` (e.g. BENCH_serve.json)")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if fs.NArg() > 0 {
+		return usagef("loadgen: unexpected argument %q", fs.Arg(0))
+	}
+	cfg := serve.LoadgenConfig{URL: *url, Path: *path, Conns: *conns, Duration: *dur}
+	if *specPath != "" {
+		body, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		cfg.Body = body
+	}
+	fmt.Fprintf(out, "loadgen       : %s%s, %d conns, %s\n", *url, *path, *conns, *dur)
+	res, err := serve.Loadgen(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.String())
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d of %d requests failed", res.Errors, res.Requests)
+	}
+	if *jsonPath != "" {
+		rec := serveBenchRecord{
+			Name:      "serve",
+			Date:      time.Now().UTC().Format(time.RFC3339),
+			URL:       *url,
+			Path:      *path,
+			Conns:     *conns,
+			DurationS: dur.Seconds(),
+			Result:    res,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded      : %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestUsageMentionsServe pins the unified usage text: both serving
+// subcommands and the shared-suite-flags note must be present. usage()
+// writes to stderr, so this goes through the subprocess hook.
+func TestUsageMentionsServe(t *testing.T) {
+	cmd, stderr := cliCommand("help", "")
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("help exited nonzero: %v\n%s", err, stderr.String())
+	}
+	for _, want := range []string{
+		"serve     HTTP evaluation service",
+		"loadgen   drive a running server",
+		"shared suite flags (run, eval):",
+		"-checkpoint",
+	} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	if _, err := runCapture(t, "serve", "-bogus"); err == nil {
+		t.Error("serve accepted an unknown flag")
+	}
+	if _, err := runCapture(t, "serve", "extra"); err == nil {
+		t.Error("serve accepted a positional argument")
+	}
+	if _, err := runCapture(t, "loadgen", "-bogus"); err == nil {
+		t.Error("loadgen accepted an unknown flag")
+	}
+	if _, err := runCapture(t, "loadgen", "extra"); err == nil {
+		t.Error("loadgen accepted a positional argument")
+	}
+}
+
+func TestLoadgenDeadServer(t *testing.T) {
+	// Nothing listens here: every warmup request fails.
+	if _, err := runCapture(t, "loadgen", "-url", "http://127.0.0.1:1", "-c", "1", "-d", "100ms"); err == nil {
+		t.Error("loadgen against a dead server succeeded")
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the child
+// process to bind.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestServeLifecycle is the end-to-end serving scenario as a real
+// process: start `bandwall serve`, wait for /healthz, evaluate the
+// shipped stacked-compression spec over HTTP (expecting Fig 12's 18
+// cores), drive it with `bandwall loadgen -json`, then SIGTERM it and
+// require a graceful exit 0.
+func TestServeLifecycle(t *testing.T) {
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	cmd, stderr := cliCommand(fmt.Sprintf("serve -addr 127.0.0.1:%d -quiet", port), "")
+	var stdout strings.Builder
+	cmd.Stdout = &stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the listener.
+	var up bool
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("server never became healthy (stderr: %s)", stderr.String())
+	}
+
+	// One real eval over the wire.
+	spec, err := os.ReadFile(exampleSpecs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/eval", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"cores@cc+lc":18`) {
+		t.Errorf("eval response missing the Fig 12 answer:\n%.400s", body)
+	}
+
+	// Drive it with the loadgen subcommand and record the bench shape.
+	benchFile := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	out, err := runCapture(t, "loadgen", "-url", base,
+		"-spec", exampleSpecs[0], "-c", "4", "-d", "300ms", "-json", benchFile)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "latency p99") {
+		t.Errorf("loadgen output missing summary:\n%s", out)
+	}
+	data, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Name   string `json:"name"`
+		Result struct {
+			Requests   uint64  `json:"requests"`
+			Errors     uint64  `json:"errors"`
+			Throughput float64 `json:"throughput_rps"`
+			P99        float64 `json:"p99_ms"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bench record: %v\n%s", err, data)
+	}
+	if rec.Name != "serve" || rec.Result.Requests == 0 || rec.Result.Errors != 0 || rec.Result.Throughput <= 0 {
+		t.Errorf("bench record = %+v", rec)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	code := 0
+	if exitErr, ok := waitErr.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if waitErr != nil {
+		t.Fatal(waitErr)
+	}
+	if code != 0 {
+		t.Errorf("SIGTERM exit code %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "drained and stopped") {
+		t.Errorf("missing drain confirmation on stdout:\n%s", stdout.String())
+	}
+}

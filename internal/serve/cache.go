@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is a bounded LRU of rendered responses keyed by spec
+// fingerprint. The solver cache underneath already memoizes the math;
+// this layer additionally skips spec parsing, engine dispatch, and JSON
+// rendering for repeated queries — the common case for a dashboard
+// polling a fixed what-if set.
+type respCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newRespCache builds a cache holding up to size entries; size 0 means
+// DefaultCacheSize, negative disables caching (Get always misses).
+func newRespCache(size int) *respCache {
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size < 0 {
+		return &respCache{max: 0}
+	}
+	return &respCache{max: size, ll: list.New(), m: make(map[string]*list.Element, size)}
+}
+
+// Get returns the cached body for key, if any.
+func (c *respCache) Get(key string) ([]byte, bool) {
+	if c.max == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least-recently-used entry
+// when full. body is retained; callers must not mutate it afterwards.
+func (c *respCache) Put(key string, body []byte) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// Len returns the number of cached responses.
+func (c *respCache) Len() int {
+	if c.max == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRespCacheLRU(t *testing.T) {
+	c := newRespCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	// "b" is now least-recently used; inserting "c" must evict it.
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not maintained")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestRespCachePutExisting(t *testing.T) {
+	c := newRespCache(4)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if v, _ := c.Get("k"); string(v) != "new" {
+		t.Errorf("Get = %q, want new", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestRespCacheDisabled(t *testing.T) {
+	c := newRespCache(-1)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestRespCacheDefaultSize(t *testing.T) {
+	c := newRespCache(0)
+	for i := 0; i < DefaultCacheSize+10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if c.Len() != DefaultCacheSize {
+		t.Errorf("Len = %d, want the default bound %d", c.Len(), DefaultCacheSize)
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// maxSpecBytes bounds an eval request body. The largest shipped example
+// spec is under 2 KiB; 1 MiB leaves three orders of magnitude of
+// headroom while keeping a hostile client from ballooning the heap.
+const maxSpecBytes = 1 << 20
+
+// EvalResponse is the POST /v1/eval response body.
+type EvalResponse struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Points []EvalPoint        `json:"points"`
+	// Report is the rendered text report — the same tables `bandwall
+	// eval` prints.
+	Report string `json:"report"`
+	// Cache reports the solver-cache traffic of the underlying
+	// evaluation (cached responses replay the original solve's stats).
+	Cache CacheStats `json:"cache"`
+}
+
+// EvalPoint is one solved (case, axis) cell.
+type EvalPoint struct {
+	Case  string  `json:"case"`
+	Ratio float64 `json:"ratio"`
+	N2    float64 `json:"n2"`
+	Cores int     `json:"cores"`
+	Exact float64 `json:"exact"`
+}
+
+// CacheStats is the solver-cache traffic of one evaluation.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// handleEval evaluates a scenario.Spec JSON body. The flow is the
+// serving pipeline in miniature: parse strictly → fingerprint → response
+// cache → singleflight → shared engine (itself backed by the memoized
+// solver cache) → render once, cache, reply.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, kindBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusBadRequest, kindBadRequest,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	sp, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeModelError(w, err) // ErrDomain-classified → 400 with kind "domain"
+		return
+	}
+
+	key, err := fingerprintSpec(sp)
+	if err != nil {
+		writeModelError(w, err)
+		return
+	}
+	if cached, ok := s.cache.Get(key); ok {
+		s.mCacheHits.Inc()
+		writeCached(w, cached, "hit")
+		return
+	}
+	s.mCacheMiss.Inc()
+
+	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		if s.evalGate != nil {
+			s.evalGate(r.Context(), sp)
+		}
+		o, err := s.engine.Evaluate(r.Context(), sp)
+		if err != nil {
+			return nil, err
+		}
+		s.solveCount.Add(1)
+		s.mSolves.Inc()
+		rendered, err := renderOutcome(o)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, rendered)
+		return rendered, nil
+	})
+	if shared {
+		s.sharedCount.Add(1)
+		s.mShared.Inc()
+	}
+	if err != nil {
+		writeModelError(w, err)
+		return
+	}
+	flag := "miss"
+	if shared {
+		flag = "shared"
+	}
+	writeCached(w, resp, flag)
+}
+
+// writeCached writes a pre-rendered JSON response with its cache
+// disposition header.
+func writeCached(w http.ResponseWriter, body []byte, disposition string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Bandwall-Cache", disposition)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// fingerprintSpec derives the response-cache and singleflight key: the
+// SHA-256 of the parsed spec's canonical JSON. Marshaling the *parsed*
+// struct (not the request bytes) normalizes field order, whitespace,
+// and numeric spellings, so two textually different bodies describing
+// the same query collapse onto one key — the request-level analogue of
+// the PR-4 solver-cache fingerprint.
+func fingerprintSpec(sp *scenario.Spec) (string, error) {
+	canon, err := json.Marshal(sp)
+	if err != nil {
+		return "", fmt.Errorf("canonicalizing spec: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// renderOutcome builds the response body bytes for one evaluated
+// outcome.
+func renderOutcome(o *scenario.Outcome) ([]byte, error) {
+	resp := EvalResponse{
+		ID:     o.Spec.ID,
+		Title:  o.Spec.Title,
+		Values: o.Values,
+		Points: make([]EvalPoint, 0, len(o.Points)),
+		Cache:  CacheStats{Hits: o.CacheHits, Misses: o.CacheMisses},
+	}
+	labels := make([]string, len(o.Spec.Cases))
+	for i, c := range o.Spec.Cases {
+		labels[i] = c.Label
+		if labels[i] == "" {
+			labels[i] = fmt.Sprintf("case %d", i)
+		}
+	}
+	for _, pt := range o.Points {
+		resp.Points = append(resp.Points, EvalPoint{
+			Case:  labels[pt.Case],
+			Ratio: pt.Gen.Ratio,
+			N2:    pt.Gen.N,
+			Cores: pt.Cores,
+			Exact: pt.Exact,
+		})
+	}
+	var report strings.Builder
+	tables, charts := o.Render()
+	for _, tb := range tables {
+		report.WriteString(tb.String())
+	}
+	for _, ch := range charts {
+		report.WriteString(ch.String())
+	}
+	resp.Report = report.String()
+	return json.Marshal(resp)
+}

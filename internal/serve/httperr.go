@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/robust"
+)
+
+// Error kinds carried in JSON error bodies. They mirror the robust
+// taxonomy plus the serving-layer conditions, so clients can branch on
+// a stable string instead of parsing messages.
+const (
+	kindDomain     = "domain"      // robust.ErrDomain: bad spec or parameters → 400
+	kindBadRequest = "bad_request" // malformed request around the model (query params, body size) → 400
+	kindNotFound   = "not_found"   // unknown experiment id or route → 404
+	kindCanceled   = "canceled"    // deadline expiry or client disconnect → 504
+	kindPanic      = "panic"       // contained panic inside a solve → 500
+	kindSaturated  = "saturated"   // admission semaphore full → 429
+	kindInternal   = "internal"    // anything else → 500
+)
+
+// httpError is the JSON error body shape.
+type httpError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// classify maps a model/solver error onto an HTTP status and error
+// kind following the robust taxonomy: domain violations are the
+// client's fault, cancellation is a timeout, contained panics and
+// everything else are server faults — and none of them may take the
+// process down.
+func classify(err error) (status int, kind string) {
+	var pe *robust.PanicError
+	switch {
+	case errors.Is(err, robust.ErrDomain):
+		return http.StatusBadRequest, kindDomain
+	case robust.Classify(err) == robust.Canceled:
+		return http.StatusGatewayTimeout, kindCanceled
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, kindPanic
+	default:
+		return http.StatusInternalServerError, kindInternal
+	}
+}
+
+// writeModelError renders err with the taxonomy mapping.
+func writeModelError(w http.ResponseWriter, err error) {
+	status, kind := classify(err)
+	writeError(w, status, kind, err)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, httpError{Error: err.Error(), Kind: kind})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already committed; nothing useful to do
+}

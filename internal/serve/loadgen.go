@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadgenConfig drives one closed-loop load-generation run: Conns
+// workers each issue requests back-to-back (a new request the moment
+// the previous response finishes) for Duration.
+type LoadgenConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Path is the target endpoint; default "/v1/eval".
+	Path string
+	// Body is POSTed on each request (a scenario spec). Empty means GET.
+	Body []byte
+	// Conns is the number of concurrent closed-loop workers; ≤0 means 32.
+	Conns int
+	// Duration is how long to generate load; ≤0 means 5s.
+	Duration time.Duration
+	// WarmupRequests are issued (and discarded from the stats) before
+	// timing starts, so connection setup and first-solve costs don't
+	// pollute the latency tail. ≤0 means Conns requests.
+	WarmupRequests int
+}
+
+// LoadgenResult summarizes one run.
+type LoadgenResult struct {
+	Requests uint64         `json:"requests"`
+	Errors   uint64         `json:"errors"` // transport errors + non-2xx responses
+	Statuses map[int]uint64 `json:"statuses"`
+	Elapsed  time.Duration  `json:"-"`
+
+	ElapsedSeconds float64 `json:"elapsed_s"`
+	Throughput     float64 `json:"throughput_rps"`
+	P50ms          float64 `json:"p50_ms"`
+	P90ms          float64 `json:"p90_ms"`
+	P99ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// String renders the result in the CLI's aligned key:value style.
+func (r LoadgenResult) String() string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "requests      : %d (%d errors)\n", r.Requests, r.Errors)
+	fmt.Fprintf(&sb, "elapsed       : %.2fs\n", r.ElapsedSeconds)
+	fmt.Fprintf(&sb, "throughput    : %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&sb, "latency p50   : %.3f ms\n", r.P50ms)
+	fmt.Fprintf(&sb, "latency p90   : %.3f ms\n", r.P90ms)
+	fmt.Fprintf(&sb, "latency p99   : %.3f ms\n", r.P99ms)
+	fmt.Fprintf(&sb, "latency max   : %.3f ms\n", r.MaxMs)
+	for _, code := range sortedStatuses(r.Statuses) {
+		fmt.Fprintf(&sb, "status %d    : %d\n", code, r.Statuses[code])
+	}
+	return sb.String()
+}
+
+func sortedStatuses(m map[int]uint64) []int {
+	out := make([]int, 0, len(m))
+	for code := range m {
+		out = append(out, code)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Loadgen runs the closed-loop client until cfg.Duration elapses or ctx
+// is canceled, whichever comes first. Latencies are recorded both as
+// exact samples (for the percentile report) and into the obs histogram
+// serve.loadgen.latency_us when a registry is installed.
+func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
+	conns := cfg.Conns
+	if conns <= 0 {
+		conns = 32
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	path := cfg.Path
+	if path == "" {
+		path = "/v1/eval"
+	}
+	target := cfg.URL + path
+	transport := &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	issue := func() (int, error) {
+		var req *http.Request
+		var err error
+		if len(cfg.Body) == 0 {
+			req, err = http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+		} else {
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(cfg.Body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Warmup: establish connections and populate the server's caches so
+	// the measured window reflects steady-state serving.
+	warm := cfg.WarmupRequests
+	if warm <= 0 {
+		warm = conns
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := issue(); err != nil {
+			return LoadgenResult{}, fmt.Errorf("loadgen warmup: %w", err)
+		}
+	}
+
+	hist := obs.Default().Histogram("serve.loadgen.latency_us", latencyBounds)
+	type workerStats struct {
+		latencies []time.Duration
+		statuses  map[int]uint64
+		errors    uint64
+	}
+	stats := make([]workerStats, conns)
+	runCtx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(conns)
+	for w := 0; w < conns; w++ {
+		go func(ws *workerStats) {
+			defer wg.Done()
+			ws.statuses = make(map[int]uint64)
+			for runCtx.Err() == nil {
+				t0 := time.Now()
+				code, err := issue()
+				lat := time.Since(t0)
+				if runCtx.Err() != nil && (err != nil || code == 0) {
+					return // the deadline canceled this request mid-flight
+				}
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				ws.statuses[code]++
+				if code < 200 || code > 299 {
+					ws.errors++
+				}
+				ws.latencies = append(ws.latencies, lat)
+				hist.Observe(float64(lat.Microseconds()))
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadgenResult{Statuses: make(map[int]uint64), Elapsed: elapsed}
+	var all []time.Duration
+	for _, ws := range stats {
+		res.Errors += ws.errors
+		for code, n := range ws.statuses {
+			res.Statuses[code] += n
+		}
+		all = append(all, ws.latencies...)
+	}
+	res.Requests = uint64(len(all))
+	res.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50ms = ms(percentile(all, 0.50))
+		res.P90ms = ms(percentile(all, 0.90))
+		res.P99ms = ms(percentile(all, 0.99))
+		res.MaxMs = ms(all[len(all)-1])
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenEndToEnd drives a real in-process server with the
+// closed-loop client: after the first solve every request is a response
+// cache hit, so the run must finish error-free with sane percentiles.
+func TestLoadgenEndToEnd(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, nil)
+	res, err := Loadgen(context.Background(), LoadgenConfig{
+		URL:      ts.URL,
+		Body:     []byte(stackedSpec),
+		Conns:    4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors (statuses %v)", res.Errors, res.Statuses)
+	}
+	if res.Statuses[200] != res.Requests {
+		t.Errorf("statuses = %v, want all %d as 200", res.Statuses, res.Requests)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %g", res.Throughput)
+	}
+	if res.P50ms > res.P99ms || res.P99ms > res.MaxMs {
+		t.Errorf("percentiles out of order: p50=%g p99=%g max=%g", res.P50ms, res.P99ms, res.MaxMs)
+	}
+	out := res.String()
+	for _, want := range []string{"requests", "throughput", "latency p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadgenCanceledContext(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Loadgen(ctx, LoadgenConfig{URL: ts.URL, Body: []byte(stackedSpec), Conns: 1, Duration: time.Second}); err == nil {
+		t.Error("Loadgen with canceled context returned nil error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(samples, 0.50); got != 51*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(samples, 0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}

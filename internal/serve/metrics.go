@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics snapshots the process obs registry. The default
+// rendering is a Prometheus-style text exposition (dots in metric names
+// become underscores); ?format=ndjson (or an Accept header of
+// application/x-ndjson) switches to the repo's NDJSON dump — the same
+// lines `bandwall run -metrics` writes, spans included.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	if reg == nil {
+		writeError(w, http.StatusServiceUnavailable, kindInternal,
+			fmt.Errorf("metrics collection is disabled (no obs registry installed)"))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		format = "ndjson"
+	}
+	switch format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetricsText(w, reg)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = reg.WriteNDJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, kindBadRequest,
+			fmt.Errorf("unknown metrics format %q (want text or ndjson)", format))
+	}
+}
+
+// writeMetricsText renders counters, gauges, and histograms in the
+// Prometheus text exposition shape. Spans are omitted (they are
+// per-run, unbounded series; the NDJSON format carries them).
+func writeMetricsText(w http.ResponseWriter, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "%s %d\n", promName(c.Name), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "%s %g\n", promName(g.Name), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.LE, 1) {
+				le = fmt.Sprintf("%g", b.LE)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// promName maps the registry's dotted names onto the Prometheus
+// charset: dots and slashes become underscores, and everything gets
+// the bandwall_ namespace prefix.
+func promName(name string) string {
+	repl := strings.NewReplacer(".", "_", "/", "_", "-", "_")
+	return "bandwall_" + repl.Replace(name)
+}

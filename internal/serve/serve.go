@@ -1,0 +1,360 @@
+// Package serve exposes the bandwidth-wall model as a long-lived HTTP
+// service: the scenario engine (with its memoized solver cache), the
+// experiment registry, and the technique catalog become network
+// endpoints, so design-space exploration tools can iterate against the
+// model interactively instead of shelling out to the one-shot CLI.
+//
+// Endpoints:
+//
+//	POST /v1/eval                    evaluate a scenario.Spec JSON body
+//	GET  /v1/experiments             list the registered reproductions
+//	POST /v1/experiments/{id}/run    run one reproduction
+//	GET  /v1/catalog                 the technique registry + param schemas
+//	GET  /healthz                    liveness probe
+//	GET  /metrics                    obs registry snapshot (text or NDJSON)
+//
+// The serving layer carries the production muscles the one-shot CLI
+// never needed: a bounded admission semaphore (429 + Retry-After on
+// saturation), per-request deadlines threaded as context through the
+// solver, the robust error taxonomy mapped onto HTTP status codes
+// (ErrDomain→400, cancellation→504, contained panics→500 without
+// killing the process), a singleflight layer that collapses concurrent
+// identical spec evaluations into one solve, a bounded LRU response
+// cache, structured access logging, and graceful shutdown that drains
+// in-flight evaluations.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// Config tunes one Server. The zero value serves with the defaults
+// below.
+type Config struct {
+	// MaxInflight bounds concurrently admitted requests on the evaluation
+	// endpoints (/v1/eval, /v1/experiments/{id}/run). Requests beyond the
+	// bound are rejected with 429 + Retry-After instead of queueing, so a
+	// saturated server degrades by shedding rather than by latency
+	// collapse. ≤0 means DefaultMaxInflight.
+	MaxInflight int
+	// EvalTimeout is the per-request solver deadline. A request may lower
+	// (never raise) it with ?timeout=D. ≤0 means DefaultEvalTimeout.
+	EvalTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the listener closes. ≤0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// CacheSize bounds the rendered-response LRU cache (entries). 0 means
+	// DefaultCacheSize; negative disables response caching.
+	CacheSize int
+	// AccessLog receives one structured line per request. Nil disables
+	// access logging.
+	AccessLog io.Writer
+}
+
+// Serving defaults.
+const (
+	DefaultMaxInflight  = 64
+	DefaultEvalTimeout  = 15 * time.Second
+	DefaultDrainTimeout = 10 * time.Second
+	DefaultCacheSize    = 1024
+)
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return DefaultMaxInflight
+	}
+	return c.MaxInflight
+}
+
+func (c Config) evalTimeout() time.Duration {
+	if c.EvalTimeout <= 0 {
+		return DefaultEvalTimeout
+	}
+	return c.EvalTimeout
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return DefaultDrainTimeout
+	}
+	return c.DrainTimeout
+}
+
+// Server is the HTTP evaluation service. Create one with NewServer; it
+// is safe for concurrent use by the stdlib HTTP stack.
+type Server struct {
+	cfg    Config
+	engine *scenario.Engine
+
+	sem    chan struct{} // admission slots for the heavy endpoints
+	flight *group        // collapses concurrent identical evals
+	cache  *respCache    // fingerprint → rendered response
+
+	accessLog *log.Logger
+	mux       *http.ServeMux
+
+	inflight atomic.Int64
+
+	// Instruments (nil-safe no-ops when obs is disabled).
+	mReqs       *obs.Counter
+	mResp       [6]*obs.Counter // index = status/100 (mResp[2] = 2xx …)
+	mSaturated  *obs.Counter
+	mSolves     *obs.Counter
+	mShared     *obs.Counter
+	mCacheHits  *obs.Counter
+	mCacheMiss  *obs.Counter
+	mLatency    *obs.Histogram
+	gInflight   *obs.Gauge
+	solveCount  atomic.Uint64 // underlying evaluations (the singleflight proof)
+	sharedCount atomic.Uint64 // requests served by another request's solve
+
+	// evalGate, when non-nil, is called by the singleflight leader before
+	// it evaluates — the test hook that makes saturation, deadline, and
+	// collapse behavior deterministic.
+	evalGate func(ctx context.Context, sp *scenario.Spec)
+}
+
+// Metric names published by this package.
+const (
+	MetricRequests           = "serve.requests"
+	MetricSaturated          = "serve.saturated"
+	MetricEvalSolves         = "serve.eval.solves"
+	MetricSingleflightShared = "serve.eval.singleflight.shared"
+	MetricCacheHits          = "serve.cache.hits"
+	MetricCacheMisses        = "serve.cache.misses"
+	MetricLatencyUS          = "serve.latency_us"
+	MetricInflight           = "serve.inflight"
+)
+
+// latencyBounds are the request-latency histogram buckets in
+// microseconds: 50µs .. 1s, roughly ×2.5 per bucket.
+var latencyBounds = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1e6}
+
+// RegisterObs pre-registers this package's metric names on reg so
+// /metrics has a stable shape before the first request arrives.
+func RegisterObs(reg *obs.Registry) {
+	for _, name := range []string{
+		MetricRequests, MetricSaturated, MetricEvalSolves,
+		MetricSingleflightShared, MetricCacheHits, MetricCacheMisses,
+	} {
+		reg.Counter(name)
+	}
+	for class := 2; class <= 5; class++ {
+		reg.Counter(fmt.Sprintf("serve.responses.%dxx", class))
+	}
+	reg.Histogram(MetricLatencyUS, latencyBounds)
+	reg.Gauge(MetricInflight)
+}
+
+// NewServer builds a Server over one shared scenario engine (and thus
+// one solver cache for every request it will ever serve). Instruments
+// are resolved from the process-default obs registry at construction,
+// so install the registry (obs.SetDefault) before calling NewServer.
+func NewServer(cfg Config) *Server {
+	reg := obs.Default()
+	s := &Server{
+		cfg:        cfg,
+		engine:     scenario.NewEngine(),
+		sem:        make(chan struct{}, cfg.maxInflight()),
+		flight:     newGroup(),
+		cache:      newRespCache(cfg.CacheSize),
+		mReqs:      reg.Counter(MetricRequests),
+		mSaturated: reg.Counter(MetricSaturated),
+		mSolves:    reg.Counter(MetricEvalSolves),
+		mShared:    reg.Counter(MetricSingleflightShared),
+		mCacheHits: reg.Counter(MetricCacheHits),
+		mCacheMiss: reg.Counter(MetricCacheMisses),
+		mLatency:   reg.Histogram(MetricLatencyUS, latencyBounds),
+		gInflight:  reg.Gauge(MetricInflight),
+	}
+	for class := 2; class <= 5; class++ {
+		s.mResp[class] = reg.Counter(fmt.Sprintf("serve.responses.%dxx", class))
+	}
+	if cfg.AccessLog != nil {
+		s.accessLog = log.New(cfg.AccessLog, "", 0)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/catalog", s.instrument(s.handleCatalog))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
+	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.instrument(s.admit(s.handleExperimentRun)))
+	s.mux.HandleFunc("POST /v1/eval", s.instrument(s.admit(s.handleEval)))
+	return s
+}
+
+// Handler returns the service's root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Solves returns the number of underlying scenario evaluations the
+// server has performed — requests absorbed by the response cache or
+// collapsed by singleflight do not count. It is the counter the
+// concurrency tests (and loadgen reports) pin.
+func (s *Server) Solves() uint64 { return s.solveCount.Load() }
+
+// SharedFlights returns how many requests were served by another
+// in-flight request's solve (singleflight waiters).
+func (s *Server) SharedFlights() uint64 { return s.sharedCount.Load() }
+
+// Inflight returns the number of currently admitted requests plus those
+// waiting inside the eval singleflight — the live concurrency the
+// admission semaphore sees.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// statusWriter captures the response status and byte count for the
+// access log and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with request counting, latency recording,
+// and structured access logging. It deliberately avoids obs spans: a
+// span costs two runtime.ReadMemStats calls, far too heavy per request.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mReqs.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if class := sw.status / 100; class >= 2 && class <= 5 {
+			s.mResp[class].Inc()
+		}
+		dur := time.Since(start)
+		s.mLatency.Observe(float64(dur.Microseconds()))
+		if s.accessLog != nil {
+			s.accessLog.Printf("%s method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
+				start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path, sw.status, sw.bytes, dur, r.RemoteAddr)
+		}
+	}
+}
+
+// admit wraps a heavy handler with the bounded admission semaphore and
+// the per-request deadline. A saturated server sheds immediately with
+// 429 + Retry-After rather than queueing unbounded work behind the
+// listener.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.mSaturated.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, kindSaturated,
+				fmt.Errorf("server at capacity (%d in-flight requests)", cap(s.sem)))
+			return
+		}
+		s.gInflight.Set(float64(s.inflight.Add(1)))
+		defer func() {
+			<-s.sem
+			s.gInflight.Set(float64(s.inflight.Add(-1)))
+		}()
+
+		timeout := s.cfg.evalTimeout()
+		if q := r.URL.Query().Get("timeout"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				writeError(w, http.StatusBadRequest, kindBadRequest,
+					fmt.Errorf("invalid timeout %q (want a positive Go duration)", q))
+				return
+			}
+			if d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ListenAndServe serves on addr until ctx is canceled, then drains
+// in-flight requests for up to DrainTimeout before returning. A clean
+// drain returns nil, so a SIGTERM'd server process exits 0. If ready is
+// non-nil it receives the bound address (useful with ":0") once the
+// listener is open.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(l.Addr())
+	}
+	return s.Serve(ctx, l)
+}
+
+// Serve is ListenAndServe over an existing listener. It owns l and
+// closes it on return.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	// Request contexts are NOT canceled by Shutdown, so running solves
+	// complete (their own deadlines still bound them).
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	shutErr := srv.Shutdown(dctx)
+	wg.Wait()
+	<-errc
+	if shutErr != nil {
+		return fmt.Errorf("serve: drain exceeded %s: %w", s.cfg.drainTimeout(), shutErr)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of `bandwall serve` as a real
+# process: build, start, probe /healthz, evaluate the shipped
+# stacked-compression spec over HTTP (the Fig 12 answer: 18 cores),
+# scrape /metrics, then SIGTERM and require a graceful exit 0.
+#
+# Run from the repo root: bash scripts/serve_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:18089"
+BASE="http://$ADDR"
+SPEC="examples/scenarios/stacked-compression.json"
+BIN="$(mktemp -d)/bandwall"
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN" ./cmd/bandwall
+
+echo "== start serve on $ADDR"
+"$BIN" serve -addr "$ADDR" -quiet &
+SERVER_PID=$!
+
+echo "== wait for /healthz"
+up=0
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+if [[ "$up" != 1 ]]; then
+  echo "FAIL: server never became healthy" >&2
+  exit 1
+fi
+curl -sf "$BASE/healthz" | grep -q '"ok"'
+
+echo "== POST $SPEC"
+RESP="$(curl -sf -X POST --data-binary "@$SPEC" "$BASE/v1/eval")"
+echo "$RESP" | grep -q '"cores@cc+lc":18' || {
+  echo "FAIL: eval response missing the Fig 12 answer (cores@cc+lc=18):" >&2
+  echo "$RESP" | head -c 600 >&2
+  exit 1
+}
+
+echo "== scrape /metrics"
+# Capture first: grep -q closing the pipe early would SIGPIPE curl and
+# trip pipefail even on a healthy response.
+METRICS="$(curl -sf "$BASE/metrics")"
+echo "$METRICS" | grep -q '^bandwall_serve_requests ' || {
+  echo "FAIL: /metrics missing bandwall_serve_requests" >&2
+  exit 1
+}
+
+echo "== SIGTERM → graceful exit 0"
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [[ "$rc" != 0 ]]; then
+  echo "FAIL: server exited $rc after SIGTERM, want 0" >&2
+  exit 1
+fi
+SERVER_PID=""
+
+echo "serve smoke: OK"
