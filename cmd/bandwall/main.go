@@ -7,8 +7,9 @@
 //	bandwall list
 //	bandwall run [suite flags] [-quick] <experiment-id>... | all
 //	bandwall eval [suite flags] SPEC.json...
-//	bandwall serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-quiet]
+//	bandwall serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
 //	bandwall loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
+//	bandwall top [-url URL] [-interval D] [-n N] [-route R] [-plain]
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
 //	bandwall sweep [-gens G] [-budget B] [-alpha A] [-tech SPEC]
@@ -106,6 +107,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdServe(ctx, args[1:], out)
 	case "loadgen":
 		return cmdLoadgen(ctx, args[1:], out)
+	case "top":
+		return cmdTop(ctx, args[1:], out)
 	case "cores":
 		return cmdCores(args[1:], out)
 	case "traffic":
@@ -137,8 +140,9 @@ subcommands:
   list      list every figure/table reproduction (no flags)
   run       run reproductions:       run [suite flags] [-quick] fig02 fig15 | all
   eval      evaluate scenario specs: eval [suite flags] examples/scenarios/stacked-compression.json
-  serve     HTTP evaluation service: serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-quiet]
+  serve     HTTP evaluation service: serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
   loadgen   drive a running server:  loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
+  top       live server dashboard:   top [-url URL] [-interval D] [-n N] [-route R] [-plain]
   cores     supportable cores:       cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
   traffic   relative traffic:        traffic -p2 12 -c2 20 -alpha 0.5 -tech ""
   sweep     generation sweep:        sweep -gens 4 -budget 1 -tech "CC/LC=2 + DRAM=8" [-verbose]

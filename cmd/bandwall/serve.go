@@ -7,11 +7,20 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/serve"
 )
+
+// registrySpanCap bounds the obs registry's completed-span buffer in the
+// long-lived server: the engine records spans per evaluation, and an
+// unbounded buffer would grow for the life of the process. The ring
+// keeps the most recent ones for the NDJSON /metrics dump.
+const registrySpanCap = 1024
 
 // cmdServe runs the HTTP evaluation service until the process context
 // is canceled (SIGINT/SIGTERM), then drains in-flight requests and
@@ -23,6 +32,8 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", serve.DefaultEvalTimeout, "per-request solver deadline")
 	drain := fs.Duration("drain", serve.DefaultDrainTimeout, "graceful-shutdown drain budget")
 	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "response cache entries (negative disables)")
+	traceBuf := fs.Int("tracebuf", serve.DefaultTraceBuffer, "completed request traces retained for GET /v1/trace")
+	debugAddr := fs.String("debug-addr", "", "also serve net/http/pprof on this `host:port` (empty: disabled)")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logging")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -37,20 +48,41 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	reg, restore := enableObs()
 	defer restore()
 	serve.RegisterObs(reg)
+	reg.SetSpanCap(registrySpanCap)
+
+	// pprof stays off the service mux: profiling endpoints leak heap
+	// contents and stack traces, so they bind separately (typically to
+	// localhost) and only on request.
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dl.Close()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(dl, dmux) }()
+		fmt.Fprintf(out, "bandwall serve: pprof on http://%s/debug/pprof/\n", dl.Addr())
+	}
 
 	cfg := serve.Config{
 		MaxInflight:  *inflight,
 		EvalTimeout:  *timeout,
 		DrainTimeout: *drain,
 		CacheSize:    *cacheSize,
+		TraceBuffer:  *traceBuf,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
 	}
 	s := serve.NewServer(cfg)
 	err := s.ListenAndServe(ctx, *addr, func(a net.Addr) {
-		fmt.Fprintf(out, "bandwall serve: listening on http://%s (inflight %d, timeout %s, cache %d)\n",
-			a, *inflight, *timeout, *cacheSize)
+		fmt.Fprintf(out, "bandwall serve: listening on http://%s (inflight %d, timeout %s, cache %d, tracebuf %d)\n",
+			a, *inflight, *timeout, *cacheSize, *traceBuf)
 	})
 	if err != nil {
 		return err
@@ -60,20 +92,53 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// serveBenchRecord is the BENCH_serve.json shape: the serving-path
-// throughput/latency baseline later PRs measure against.
-type serveBenchRecord struct {
-	Name      string             `json:"name"`
-	Date      string             `json:"date"`
-	URL       string             `json:"url"`
-	Path      string             `json:"path"`
-	Conns     int                `json:"conns"`
-	DurationS float64            `json:"duration_s"`
+// serveBenchRun is one loadgen measurement at a fixed concurrency.
+type serveBenchRun struct {
+	Conns     int                 `json:"conns"`
+	DurationS float64             `json:"duration_s"`
 	Result    serve.LoadgenResult `json:"result"`
 }
 
+// serveBenchRecord is the BENCH_serve.json shape: the serving-path
+// throughput/latency baseline later PRs measure against, one run per
+// measured concurrency. Re-recording at a concurrency already present
+// replaces that run and keeps the others.
+type serveBenchRecord struct {
+	Name string          `json:"name"`
+	Date string          `json:"date"`
+	URL  string          `json:"url"`
+	Path string          `json:"path"`
+	Runs []serveBenchRun `json:"runs"`
+}
+
+// mergeBenchRun loads path's record if it has the multi-run shape,
+// replaces or appends the run at rec's concurrency, and keeps runs
+// sorted by concurrency. A missing or legacy-shaped file starts fresh.
+func mergeBenchRun(path string, rec serveBenchRecord, run serveBenchRun) serveBenchRecord {
+	if data, err := os.ReadFile(path); err == nil {
+		var prev serveBenchRecord
+		if json.Unmarshal(data, &prev) == nil && len(prev.Runs) > 0 && prev.Path == rec.Path {
+			rec.Runs = prev.Runs
+		}
+	}
+	replaced := false
+	for i := range rec.Runs {
+		if rec.Runs[i].Conns == run.Conns {
+			rec.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		rec.Runs = append(rec.Runs, run)
+	}
+	sort.Slice(rec.Runs, func(i, j int) bool { return rec.Runs[i].Conns < rec.Runs[j].Conns })
+	return rec
+}
+
 // cmdLoadgen drives a running bandwall serve with a concurrent
-// closed-loop client and reports throughput and latency percentiles.
+// closed-loop client and reports throughput, latency percentiles, and
+// the server-side per-stage breakdown over the measured window.
 func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
@@ -81,7 +146,7 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "scenario spec file to POST (empty: GET the path)")
 	conns := fs.Int("c", 32, "concurrent closed-loop connections")
 	dur := fs.Duration("d", 5*time.Second, "measurement duration")
-	jsonPath := fs.String("json", "", "also record the result as JSON to `FILE` (e.g. BENCH_serve.json)")
+	jsonPath := fs.String("json", "", "also record the result as JSON to `FILE` (e.g. BENCH_serve.json); merges by -c")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
@@ -106,15 +171,12 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("loadgen: %d of %d requests failed", res.Errors, res.Requests)
 	}
 	if *jsonPath != "" {
-		rec := serveBenchRecord{
-			Name:      "serve",
-			Date:      time.Now().UTC().Format(time.RFC3339),
-			URL:       *url,
-			Path:      *path,
-			Conns:     *conns,
-			DurationS: dur.Seconds(),
-			Result:    res,
-		}
+		rec := mergeBenchRun(*jsonPath, serveBenchRecord{
+			Name: "serve",
+			Date: time.Now().UTC().Format(time.RFC3339),
+			URL:  *url,
+			Path: *path,
+		}, serveBenchRun{Conns: *conns, DurationS: dur.Seconds(), Result: res})
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
 			return err
@@ -122,7 +184,7 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "recorded      : %s\n", *jsonPath)
+		fmt.Fprintf(out, "recorded      : %s (%d runs)\n", *jsonPath, len(rec.Runs))
 	}
 	return nil
 }

@@ -120,35 +120,88 @@ func TestServeLifecycle(t *testing.T) {
 	if !strings.Contains(string(body), `"cores@cc+lc":18`) {
 		t.Errorf("eval response missing the Fig 12 answer:\n%.400s", body)
 	}
-
-	// Drive it with the loadgen subcommand and record the bench shape.
-	benchFile := filepath.Join(t.TempDir(), "BENCH_serve.json")
-	out, err := runCapture(t, "loadgen", "-url", base,
-		"-spec", exampleSpecs[0], "-c", "4", "-d", "300ms", "-json", benchFile)
-	if err != nil {
-		t.Fatalf("loadgen failed: %v\n%s", err, out)
+	traceID := resp.Header.Get("X-Bandwall-Trace")
+	if traceID == "" {
+		t.Error("eval response missing the X-Bandwall-Trace header")
 	}
-	if !strings.Contains(out, "throughput") || !strings.Contains(out, "latency p99") {
-		t.Errorf("loadgen output missing summary:\n%s", out)
+
+	// The trace is retrievable with a span tree.
+	tresp, err := http.Get(base + "/v1/trace?id=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK || !strings.Contains(string(tbody), `"singleflight"`) {
+		t.Errorf("GET /v1/trace?id=%s: status %d, body %.400s", traceID, tresp.StatusCode, tbody)
+	}
+
+	// Drive it with loadgen at two concurrencies; the bench record merges
+	// them into one multi-run file.
+	benchFile := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	for _, conns := range []string{"4", "8"} {
+		out, err := runCapture(t, "loadgen", "-url", base,
+			"-spec", exampleSpecs[0], "-c", conns, "-d", "300ms", "-json", benchFile)
+		if err != nil {
+			t.Fatalf("loadgen -c %s failed: %v\n%s", conns, err, out)
+		}
+		if !strings.Contains(out, "throughput") || !strings.Contains(out, "latency p99") {
+			t.Errorf("loadgen output missing summary:\n%s", out)
+		}
+		if !strings.Contains(out, "server stages over the measured window") {
+			t.Errorf("loadgen output missing the stage breakdown:\n%s", out)
+		}
 	}
 	data, err := os.ReadFile(benchFile)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rec struct {
-		Name   string `json:"name"`
-		Result struct {
-			Requests   uint64  `json:"requests"`
-			Errors     uint64  `json:"errors"`
-			Throughput float64 `json:"throughput_rps"`
-			P99        float64 `json:"p99_ms"`
-		} `json:"result"`
+		Name string `json:"name"`
+		Runs []struct {
+			Conns  int `json:"conns"`
+			Result struct {
+				Requests   uint64                    `json:"requests"`
+				Errors     uint64                    `json:"errors"`
+				Throughput float64                   `json:"throughput_rps"`
+				P99        float64                   `json:"p99_ms"`
+				Histogram  []map[string]any          `json:"histogram"`
+				Stages     map[string]map[string]any `json:"stages"`
+			} `json:"result"`
+		} `json:"runs"`
 	}
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("bench record: %v\n%s", err, data)
 	}
-	if rec.Name != "serve" || rec.Result.Requests == 0 || rec.Result.Errors != 0 || rec.Result.Throughput <= 0 {
-		t.Errorf("bench record = %+v", rec)
+	if rec.Name != "serve" || len(rec.Runs) != 2 || rec.Runs[0].Conns != 4 || rec.Runs[1].Conns != 8 {
+		t.Fatalf("bench record shape = %+v", rec)
+	}
+	for _, run := range rec.Runs {
+		r := run.Result
+		if r.Requests == 0 || r.Errors != 0 || r.Throughput <= 0 {
+			t.Errorf("run %d result = %+v", run.Conns, r)
+		}
+		if len(r.Histogram) == 0 {
+			t.Errorf("run %d has no latency histogram", run.Conns)
+		}
+		// The measured window is all response-cache hits (warmup populated
+		// the cache), so the hot path's stages must be present.
+		for _, stage := range []string{"total", "parse", "cache.lookup", "write"} {
+			if _, ok := r.Stages[stage]; !ok {
+				t.Errorf("run %d stages missing %s: %v", run.Conns, stage, r.Stages)
+			}
+		}
+	}
+
+	// One frame of the live dashboard against the warm server.
+	out, err := runCapture(t, "top", "-url", base, "-n", "1", "-plain")
+	if err != nil {
+		t.Fatalf("top failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"bandwall top", "stage latency (eval", "slowest recent traces", "goroutines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top frame missing %q:\n%s", want, out)
+		}
 	}
 
 	// Graceful shutdown: SIGTERM must drain and exit 0.

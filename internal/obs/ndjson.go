@@ -31,8 +31,13 @@ type (
 		Value float64 `json:"value"`
 	}
 	ndjsonBucket struct {
-		LE    *float64 `json:"le"` // nil encodes the +Inf overflow bucket
-		Count uint64   `json:"count"`
+		LE       *float64        `json:"le"` // nil encodes the +Inf overflow bucket
+		Count    uint64          `json:"count"`
+		Exemplar *ndjsonExemplar `json:"exemplar,omitempty"`
+	}
+	ndjsonExemplar struct {
+		Trace string  `json:"trace"`
+		Value float64 `json:"value"`
 	}
 	ndjsonHistogram struct {
 		Kind    string         `json:"kind"` // "histogram"
@@ -85,12 +90,15 @@ func (r *Registry) WriteNDJSON(w io.Writer) error {
 			Buckets: make([]ndjsonBucket, len(h.Buckets)),
 		}
 		for i, b := range h.Buckets {
-			if math.IsInf(b.LE, 1) {
-				line.Buckets[i] = ndjsonBucket{LE: nil, Count: b.Count}
-			} else {
+			nb := ndjsonBucket{Count: b.Count}
+			if !math.IsInf(b.LE, 1) {
 				le := b.LE
-				line.Buckets[i] = ndjsonBucket{LE: &le, Count: b.Count}
+				nb.LE = &le
 			}
+			if b.Exemplar != nil {
+				nb.Exemplar = &ndjsonExemplar{Trace: b.Exemplar.Label, Value: b.Exemplar.Value}
+			}
+			line.Buckets[i] = nb
 		}
 		if err := enc.Encode(line); err != nil {
 			return err

@@ -98,13 +98,23 @@ func (g *Gauge) Name() string {
 	return g.name
 }
 
+// Exemplar links one observed value to the trace that produced it, so a
+// histogram's slow buckets can point at concrete requests to inspect.
+type Exemplar struct {
+	Label string  // trace ID (or any caller-chosen reference)
+	Value float64 // the observed value
+}
+
 // Histogram is a fixed-bucket histogram with inclusive upper bounds plus
 // an implicit +Inf overflow bucket. A nil *Histogram is a valid no-op
-// sink. Observations are lock-free atomic increments.
+// sink. Observations are lock-free atomic increments. Each bucket
+// additionally retains the most recent exemplar observed into it (when
+// recorded via ObserveEx), so the slowest bucket always names a culprit.
 type Histogram struct {
 	name    string
 	bounds  []float64 // sorted ascending; bucket i holds v <= bounds[i]
 	counts  []atomic.Uint64
+	exs     []atomic.Pointer[Exemplar]
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 }
@@ -116,6 +126,31 @@ func (h *Histogram) Observe(v float64) {
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveEx is Observe plus an exemplar: the bucket v lands in remembers
+// label as a recent witness. Exemplar stores are decimated — the first
+// observation in a bucket and every 16th after that — so rare (slow)
+// buckets name a trace immediately while hot buckets don't pay an
+// allocation per observation. No-op on a nil receiver; an empty label
+// degrades to a plain Observe.
+func (h *Histogram) ObserveEx(v float64, label string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	n := h.counts[i].Add(1)
+	if label != "" && (n-1)&15 == 0 {
+		h.exs[i].Store(&Exemplar{Label: label, Value: v})
+	}
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -160,8 +195,40 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	spanMu sync.Mutex
-	spans  []SpanRecord
+	spanMu      sync.Mutex
+	spans       []SpanRecord
+	spanCap     int // >0: keep only the newest spanCap spans (ring)
+	spanHead    int // ring start once capped
+	spanDropped uint64
+}
+
+// SetSpanCap bounds the registry's span log to the newest n spans
+// (older ones are overwritten ring-style and counted as dropped). A
+// long-lived server must cap the log or per-request spans grow without
+// bound; CLI runs, whose span count is bounded by the experiment count,
+// leave it unset (n ≤ 0 restores the unbounded default).
+func (r *Registry) SetSpanCap(n int) {
+	if r == nil {
+		return
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	r.spanCap = n
+	// Re-linearize any existing ring so the invariant (spans[spanHead:]
+	// then spans[:spanHead] is oldest→newest) survives the cap change.
+	if r.spanHead > 0 {
+		lin := make([]SpanRecord, 0, len(r.spans))
+		lin = append(lin, r.spans[r.spanHead:]...)
+		lin = append(lin, r.spans[:r.spanHead]...)
+		r.spans, r.spanHead = lin, 0
+	}
+	if n > 0 && len(r.spans) > n {
+		r.spanDropped += uint64(len(r.spans) - n)
+		r.spans = append([]SpanRecord(nil), r.spans[len(r.spans)-n:]...)
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -241,6 +308,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		name:   name,
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Uint64, len(bounds)+1),
+		exs:    make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	r.hists[name] = h
 	return h
@@ -266,6 +334,8 @@ type Snapshot struct {
 	Gauges     []GaugeValue
 	Histograms []HistogramValue
 	Spans      []SpanRecord
+	// SpansDropped counts spans overwritten by the SetSpanCap ring.
+	SpansDropped uint64
 }
 
 // CounterValue is one counter's snapshot.
@@ -281,10 +351,12 @@ type GaugeValue struct {
 }
 
 // Bucket is one histogram bucket: the count of observations v <= LE that
-// fell in no earlier bucket. The overflow bucket has LE = +Inf.
+// fell in no earlier bucket. The overflow bucket has LE = +Inf. Exemplar,
+// when non-nil, is the most recent traced observation in the bucket.
 type Bucket struct {
-	LE    float64
-	Count uint64
+	LE       float64
+	Count    uint64
+	Exemplar *Exemplar
 }
 
 // HistogramValue is one histogram's snapshot.
@@ -330,7 +402,7 @@ func (r *Registry) Snapshot() Snapshot {
 			if i < len(h.bounds) {
 				le = h.bounds[i]
 			}
-			hv.Buckets[i] = Bucket{LE: le, Count: h.counts[i].Load()}
+			hv.Buckets[i] = Bucket{LE: le, Count: h.counts[i].Load(), Exemplar: h.exs[i].Load()}
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}
@@ -340,7 +412,10 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 
 	r.spanMu.Lock()
-	s.Spans = append([]SpanRecord(nil), r.spans...)
+	s.Spans = make([]SpanRecord, 0, len(r.spans))
+	s.Spans = append(s.Spans, r.spans[r.spanHead:]...)
+	s.Spans = append(s.Spans, r.spans[:r.spanHead]...)
+	s.SpansDropped = r.spanDropped
 	r.spanMu.Unlock()
 	return s
 }

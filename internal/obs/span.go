@@ -61,6 +61,14 @@ func (s *Span) End() {
 		Mallocs:    m1.Mallocs - s.m0.Mallocs,
 	}
 	s.reg.spanMu.Lock()
-	s.reg.spans = append(s.reg.spans, rec)
+	if s.reg.spanCap > 0 && len(s.reg.spans) >= s.reg.spanCap {
+		// Ring overwrite: drop the oldest span so a long-lived process
+		// keeps the newest spanCap records in bounded memory.
+		s.reg.spans[s.reg.spanHead] = rec
+		s.reg.spanHead = (s.reg.spanHead + 1) % s.reg.spanCap
+		s.reg.spanDropped++
+	} else {
+		s.reg.spans = append(s.reg.spans, rec)
+	}
 	s.reg.spanMu.Unlock()
 }

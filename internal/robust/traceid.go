@@ -1,0 +1,46 @@
+package robust
+
+import "errors"
+
+// Request-trace attribution for the error taxonomy. The serving tier
+// stamps every failing evaluation with the trace ID of the request whose
+// solve actually ran, so an error surfaced to a singleflight follower
+// (or replayed from a cache) still names the originating trace — the
+// one whose span tree shows where the time and the failure went.
+
+// TracedError attaches a trace ID to an error without changing its
+// message or classification: Unwrap exposes the original error, so
+// errors.Is/As and Classify see straight through it.
+type TracedError struct {
+	TraceID string
+	Err     error
+}
+
+// Error implements error, leaving the wrapped message untouched.
+func (e *TracedError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the original error to errors.Is/As.
+func (e *TracedError) Unwrap() error { return e.Err }
+
+// WithTraceID stamps err with the originating request's trace ID. A nil
+// err or empty id returns err unchanged, and an error already carrying
+// an ID keeps the innermost (original) one — the first solve to fail is
+// the trace worth reading.
+func WithTraceID(err error, id string) error {
+	if err == nil || id == "" {
+		return err
+	}
+	if TraceIDOf(err) != "" {
+		return err
+	}
+	return &TracedError{TraceID: id, Err: err}
+}
+
+// TraceIDOf returns the trace ID stamped on err, or "" when untraced.
+func TraceIDOf(err error) string {
+	var te *TracedError
+	if errors.As(err, &te) {
+		return te.TraceID
+	}
+	return ""
+}

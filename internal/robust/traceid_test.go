@@ -1,0 +1,51 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWithTraceID(t *testing.T) {
+	base := fmt.Errorf("solver: %w", ErrDomain)
+	err := WithTraceID(base, "abc123")
+	if got := TraceIDOf(err); got != "abc123" {
+		t.Fatalf("TraceIDOf = %q, want abc123", got)
+	}
+	// Message and taxonomy must be untouched.
+	if err.Error() != base.Error() {
+		t.Errorf("message changed: %q vs %q", err.Error(), base.Error())
+	}
+	if !errors.Is(err, ErrDomain) {
+		t.Error("errors.Is must see through the trace wrapper")
+	}
+	if Classify(err) != Permanent {
+		t.Errorf("Classify = %v, want Permanent", Classify(err))
+	}
+	// The innermost (original) ID wins over later stamps.
+	twice := WithTraceID(err, "later")
+	if got := TraceIDOf(twice); got != "abc123" {
+		t.Errorf("re-stamp: TraceIDOf = %q, want abc123", got)
+	}
+	// Wrapping above the stamp still exposes it.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if got := TraceIDOf(wrapped); got != "abc123" {
+		t.Errorf("wrapped: TraceIDOf = %q, want abc123", got)
+	}
+}
+
+func TestWithTraceIDEdges(t *testing.T) {
+	if WithTraceID(nil, "x") != nil {
+		t.Error("nil error must stay nil")
+	}
+	base := errors.New("boom")
+	if got := WithTraceID(base, ""); got != base {
+		t.Error("empty id must return err unchanged")
+	}
+	if TraceIDOf(base) != "" {
+		t.Error("untraced error must report empty id")
+	}
+	if TraceIDOf(nil) != "" {
+		t.Error("nil error must report empty id")
+	}
+}

@@ -2,8 +2,11 @@ package scaling
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/obs"
 	"repro/internal/technique"
@@ -46,13 +49,20 @@ type cacheKey struct {
 	budget float64
 }
 
+// evalEntry is one memoized solve with its per-entry hit count (the
+// introspection endpoint's top-N ranking reads it).
+type evalEntry struct {
+	val  float64
+	hits atomic.Uint64
+}
+
 // EvalCache memoizes successful SupportableCores evaluations. It is safe
 // for concurrent use by the engine's worker pool. Errors are never cached:
 // domain violations fail fast before any root finding, and injected or
 // transient faults must not poison later retries.
 type EvalCache struct {
 	mu sync.RWMutex
-	m  map[cacheKey]float64
+	m  map[cacheKey]*evalEntry
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -65,7 +75,7 @@ type EvalCache struct {
 // (scaling.cache.hits / scaling.cache.misses count across all solves).
 func NewEvalCache() *EvalCache {
 	return &EvalCache{
-		m:         make(map[cacheKey]float64),
+		m:         make(map[cacheKey]*evalEntry),
 		obsHits:   obs.Default().Counter("scaling.cache.hits"),
 		obsMisses: obs.Default().Counter("scaling.cache.misses"),
 	}
@@ -97,21 +107,30 @@ func (c *EvalCache) SupportableCoresFP(ctx context.Context, s Solver, fp Fingerp
 	}
 	k := c.key(s, fp, n2, budget)
 	c.mu.RLock()
-	v, ok := c.m[k]
+	e, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 		c.obsHits.Inc()
-		return v, nil
+		e.hits.Add(1)
+		return e.val, nil
 	}
 	c.misses.Add(1)
 	c.obsMisses.Inc()
-	v, err := s.SupportableCoresCtx(ctx, st, n2, budget)
+	// An actual solve is the stage worth attributing in a request trace;
+	// cache hits return in well under a microsecond and stay unrecorded.
+	sctx, tsp := obs.StartTraceSpan(ctx, "scaling.solve")
+	v, err := s.SupportableCoresCtx(sctx, st, n2, budget)
+	tsp.End()
 	if err != nil {
 		return 0, err
 	}
 	c.mu.Lock()
-	c.m[k] = v
+	if prev, ok := c.m[k]; ok {
+		v = prev.val // concurrent solvers: keep the first answer (they agree)
+	} else {
+		c.m[k] = &evalEntry{val: v}
+	}
 	c.mu.Unlock()
 	return v, nil
 }
@@ -143,4 +162,85 @@ func (c *EvalCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Purge drops every memoized evaluation and returns how many were held.
+// Hit/miss counters are preserved — they describe lifetime traffic, not
+// current contents.
+func (c *EvalCache) Purge() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.m)
+	c.m = make(map[cacheKey]*evalEntry)
+	return n
+}
+
+// StackInfo aggregates the cache's view of one technique-stack
+// fingerprint: how many distinct (chip, α, budget) keys share it and
+// their combined hit count.
+type StackInfo struct {
+	Stack   string `json:"stack"`   // resolved technique.Params, display form
+	Entries int    `json:"entries"` // distinct solver keys under this stack
+	Hits    uint64 `json:"hits"`
+}
+
+// Info summarizes the cache for introspection endpoints.
+type Info struct {
+	Entries     int         `json:"entries"`
+	Hits        uint64      `json:"hits"`
+	Misses      uint64      `json:"misses"`
+	ApproxBytes uint64      `json:"approx_bytes"`
+	Top         []StackInfo `json:"top,omitempty"` // hottest stacks, by hits
+}
+
+// Info reports occupancy, lifetime traffic, an approximate byte
+// footprint, and the topN hottest stack fingerprints (Yavits-style
+// measured-occupancy numbers for cache sizing). topN ≤ 0 omits the
+// ranking.
+func (c *EvalCache) Info(topN int) Info {
+	if c == nil {
+		return Info{}
+	}
+	const entryBytes = uint64(unsafe.Sizeof(cacheKey{})+unsafe.Sizeof(evalEntry{})) + 8 // key + entry + pointer
+	c.mu.RLock()
+	info := Info{
+		Entries:     len(c.m),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		ApproxBytes: uint64(len(c.m)) * entryBytes,
+	}
+	var agg map[technique.Params]*StackInfo
+	if topN > 0 {
+		agg = make(map[technique.Params]*StackInfo)
+		for k, e := range c.m {
+			si := agg[k.fp.Params]
+			if si == nil {
+				si = &StackInfo{Stack: fmt.Sprintf("%+v", k.fp.Params)}
+				agg[k.fp.Params] = si
+			}
+			si.Entries++
+			si.Hits += e.hits.Load()
+		}
+	}
+	c.mu.RUnlock()
+	if topN > 0 {
+		top := make([]StackInfo, 0, len(agg))
+		for _, si := range agg {
+			top = append(top, *si)
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Hits != top[j].Hits {
+				return top[i].Hits > top[j].Hits
+			}
+			return top[i].Stack < top[j].Stack
+		})
+		if len(top) > topN {
+			top = top[:topN]
+		}
+		info.Top = top
+	}
+	return info
 }

@@ -79,6 +79,11 @@ func NewEngine() *Engine {
 func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 	span := obs.StartSpan("scenario.eval")
 	defer span.End()
+	// Request-scoped tracing: when the context carries an obs.Trace (the
+	// serve tier installs one per request), the whole evaluation becomes a
+	// stage span, and the workers' ctx parents each real solve under it.
+	ctx, tspan := obs.StartTraceSpan(ctx, "scenario.eval")
+	defer tspan.End()
 	if err := robust.Err(ctx); err != nil {
 		return nil, err
 	}

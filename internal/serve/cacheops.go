@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/scaling"
+)
+
+// CacheInfoResponse is the GET /v1/cache body: measured occupancy and
+// traffic for both caching layers — the rendered-response LRU in front
+// and the memoized solver cache underneath. ?top=N sizes the hottest-
+// fingerprint rankings (default 10).
+type CacheInfoResponse struct {
+	ResponseCache RespCacheInfo `json:"response_cache"`
+	SolverCache   scaling.Info  `json:"solver_cache"`
+}
+
+// CachePurgeResponse is the DELETE /v1/cache body.
+type CachePurgeResponse struct {
+	ResponseEntriesPurged int `json:"response_entries_purged"`
+	SolverEntriesPurged   int `json:"solver_entries_purged"`
+}
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	topN := 10
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, r, http.StatusBadRequest, kindBadRequest,
+				fmt.Errorf("invalid top %q (want a non-negative integer)", v))
+			return
+		}
+		topN = n
+	}
+	writeJSON(w, http.StatusOK, CacheInfoResponse{
+		ResponseCache: s.cache.Info(topN),
+		SolverCache:   s.engine.Cache.Info(topN),
+	})
+}
+
+// handleCacheDelete empties both cache layers (fleet ops: after a model
+// or catalog change, stale rendered responses and memoized solves must
+// not survive). Lifetime hit/miss counters are preserved.
+func (s *Server) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CachePurgeResponse{
+		ResponseEntriesPurged: s.cache.Purge(),
+		SolverEntriesPurged:   s.engine.Cache.Purge(),
+	})
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/obs"
+	"repro/internal/robust"
 	"repro/internal/scenario"
 )
 
@@ -51,69 +54,95 @@ type CacheStats struct {
 // cache → singleflight → shared engine (itself backed by the memoized
 // solver cache) → render once, cache, reply.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
+
+	parseSpan := obs.StartTraceSpanLeaf(ctx, StageParse)
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, kindBadRequest, fmt.Errorf("reading body: %w", err))
+		parseSpan.End()
+		writeError(w, r, http.StatusBadRequest, kindBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
 	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusBadRequest, kindBadRequest,
+		parseSpan.End()
+		writeError(w, r, http.StatusBadRequest, kindBadRequest,
 			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
 		return
 	}
 	sp, err := scenario.ParseSpec(body)
+	parseSpan.End()
 	if err != nil {
-		writeModelError(w, err) // ErrDomain-classified → 400 with kind "domain"
+		writeModelError(w, r, err) // ErrDomain-classified → 400 with kind "domain"
 		return
 	}
 
+	fpSpan := obs.StartTraceSpanLeaf(ctx, StageFingerprint)
 	key, err := fingerprintSpec(sp)
+	fpSpan.End()
 	if err != nil {
-		writeModelError(w, err)
+		writeModelError(w, r, err)
 		return
 	}
-	if cached, ok := s.cache.Get(key); ok {
+	lookSpan := obs.StartTraceSpanLeaf(ctx, StageCacheLookup)
+	cached, ok := s.cache.Get(key)
+	lookSpan.End()
+	if ok {
 		s.mCacheHits.Inc()
-		writeCached(w, cached, "hit")
+		tr.SetAttr("cache", "hit")
+		writeCached(ctx, w, cached, "hit")
 		return
 	}
 	s.mCacheMiss.Inc()
 
+	// The singleflight stage covers leader work (engine + solver, whose
+	// own spans nest under it via sfctx) and follower waiting alike. A
+	// leader error is stamped with this trace's ID before the group fans
+	// it out, so followers' error bodies name the trace that did the
+	// failing work.
+	sfctx, sfSpan := obs.StartTraceSpan(ctx, StageSingleflight)
 	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
 		if s.evalGate != nil {
-			s.evalGate(r.Context(), sp)
+			s.evalGate(sfctx, sp)
 		}
-		o, err := s.engine.Evaluate(r.Context(), sp)
+		o, err := s.engine.Evaluate(sfctx, sp)
 		if err != nil {
-			return nil, err
+			return nil, robust.WithTraceID(err, tr.ID())
 		}
 		s.solveCount.Add(1)
 		s.mSolves.Inc()
+		renderSpan := obs.StartTraceSpanLeaf(sfctx, StageRender)
 		rendered, err := renderOutcome(o)
+		renderSpan.End()
 		if err != nil {
-			return nil, err
+			return nil, robust.WithTraceID(err, tr.ID())
 		}
 		s.cache.Put(key, rendered)
 		return rendered, nil
 	})
+	sfSpan.End()
 	if shared {
 		s.sharedCount.Add(1)
 		s.mShared.Inc()
 	}
+	tr.SetAttr("shared", fmt.Sprintf("%t", shared))
 	if err != nil {
-		writeModelError(w, err)
+		writeModelError(w, r, err)
 		return
 	}
 	flag := "miss"
 	if shared {
 		flag = "shared"
 	}
-	writeCached(w, resp, flag)
+	tr.SetAttr("cache", flag)
+	writeCached(ctx, w, resp, flag)
 }
 
 // writeCached writes a pre-rendered JSON response with its cache
-// disposition header.
-func writeCached(w http.ResponseWriter, body []byte, disposition string) {
+// disposition header, recording the write as a trace stage.
+func writeCached(ctx context.Context, w http.ResponseWriter, body []byte, disposition string) {
+	span := obs.StartTraceSpanLeaf(ctx, StageWrite)
+	defer span.End()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Bandwall-Cache", disposition)
 	w.WriteHeader(http.StatusOK)

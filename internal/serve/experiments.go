@@ -32,14 +32,14 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := exp.ByID(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, kindNotFound,
+		writeError(w, r, http.StatusNotFound, kindNotFound,
 			fmt.Errorf("unknown experiment %q (GET /v1/experiments lists them)", id))
 		return
 	}
 	opts := exp.Options{Quick: r.URL.Query().Get("quick") != ""}
 	res, err := exp.RunOne(r.Context(), e, opts)
 	if err != nil {
-		writeModelError(w, err)
+		writeModelError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/robust"
 )
 
@@ -21,10 +22,15 @@ const (
 	kindInternal   = "internal"    // anything else → 500
 )
 
-// httpError is the JSON error body shape.
+// httpError is the JSON error body shape. Trace names the trace whose
+// span tree explains the failure — usually this request's own, but for
+// singleflight followers the leader's originating solve (stamped on the
+// error via robust.WithTraceID), so the follower's error still points
+// at the trace that did the work.
 type httpError struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // classify maps a model/solver error onto an HTTP status and error
@@ -47,14 +53,19 @@ func classify(err error) (status int, kind string) {
 }
 
 // writeModelError renders err with the taxonomy mapping.
-func writeModelError(w http.ResponseWriter, err error) {
+func writeModelError(w http.ResponseWriter, r *http.Request, err error) {
 	status, kind := classify(err)
-	writeError(w, status, kind, err)
+	writeError(w, r, status, kind, err)
 }
 
-// writeError writes a JSON error body.
-func writeError(w http.ResponseWriter, status int, kind string, err error) {
-	writeJSON(w, status, httpError{Error: err.Error(), Kind: kind})
+// writeError writes a JSON error body stamped with the responsible
+// trace ID: the one carried by the error if any, else this request's.
+func writeError(w http.ResponseWriter, r *http.Request, status int, kind string, err error) {
+	trace := robust.TraceIDOf(err)
+	if trace == "" && r != nil {
+		trace = obs.TraceFrom(r.Context()).ID()
+	}
+	writeJSON(w, status, httpError{Error: err.Error(), Kind: kind, Trace: trace})
 }
 
 // writeJSON writes v as a JSON response with the given status.

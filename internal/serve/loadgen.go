@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +47,31 @@ type LoadgenResult struct {
 	P90ms          float64 `json:"p90_ms"`
 	P99ms          float64 `json:"p99_ms"`
 	MaxMs          float64 `json:"max_ms"`
+
+	// Histogram is the full client-side latency distribution (HDR-style
+	// log-spaced buckets), so a recorded benchmark keeps the whole shape,
+	// not just three percentiles. The nil-LE bucket is the overflow.
+	Histogram []HDRBucket `json:"histogram,omitempty"`
+	// Stages is the server-side per-stage latency breakdown over the
+	// measured window (the delta of two /metrics scrapes bracketing the
+	// run), keyed by stage name. Absent when the target doesn't expose
+	// the bandwall /metrics NDJSON.
+	Stages map[string]StageStats `json:"stages,omitempty"`
+}
+
+// HDRBucket is one latency-distribution bucket; LEms nil means +Inf.
+type HDRBucket struct {
+	LEms  *float64 `json:"le_ms"`
+	Count uint64   `json:"count"`
+}
+
+// StageStats summarizes one pipeline stage's server-side latency over
+// the measured window (microseconds, estimated from bucket counts).
+type StageStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
 }
 
 // String renders the result in the CLI's aligned key:value style.
@@ -60,6 +86,19 @@ func (r LoadgenResult) String() string {
 	fmt.Fprintf(&sb, "latency max   : %.3f ms\n", r.MaxMs)
 	for _, code := range sortedStatuses(r.Statuses) {
 		fmt.Fprintf(&sb, "status %d    : %d\n", code, r.Statuses[code])
+	}
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&sb, "server stages over the measured window (µs):\n")
+		names := make([]string, 0, len(r.Stages))
+		for name := range r.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := r.Stages[name]
+			fmt.Fprintf(&sb, "  %-14s n=%-8d mean=%-10.1f p50=%-10.1f p99=%.1f\n",
+				name, st.Count, st.MeanUS, st.P50US, st.P99US)
+		}
 	}
 	return sb.String()
 }
@@ -133,6 +172,11 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
 		}
 	}
 
+	// Bracket the measured window with /metrics scrapes so the result can
+	// carry the server-side stage breakdown for exactly this run. A
+	// failed scrape (non-bandwall target) just omits the breakdown.
+	before, scrapeErr := ScrapeMetrics(ctx, client, cfg.URL)
+
 	hist := obs.Default().Histogram("serve.loadgen.latency_us", latencyBounds)
 	type workerStats struct {
 		latencies []time.Duration
@@ -193,11 +237,64 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
 		res.P90ms = ms(percentile(all, 0.90))
 		res.P99ms = ms(percentile(all, 0.99))
 		res.MaxMs = ms(all[len(all)-1])
+		res.Histogram = latencyHDR(all)
+	}
+	if scrapeErr == nil {
+		if after, err := ScrapeMetrics(ctx, client, cfg.URL); err == nil {
+			res.Stages = stageBreakdown(before, after, routeOf(path))
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
 	return res, nil
+}
+
+// latencyHDR buckets the exact samples into the log-spaced latencyBounds
+// (converted to ms) plus an overflow bucket — the recorded distribution.
+func latencyHDR(sorted []time.Duration) []HDRBucket {
+	out := make([]HDRBucket, len(latencyBounds)+1)
+	for i, us := range latencyBounds {
+		lems := us / 1e3
+		out[i].LEms = &lems
+	}
+	for _, d := range sorted {
+		us := float64(d.Microseconds())
+		i := sort.SearchFloat64s(latencyBounds, us)
+		for i < len(latencyBounds) && us > latencyBounds[i] {
+			i++
+		}
+		out[i].Count++
+	}
+	return out
+}
+
+// routeOf maps a request path onto the serve tier's route name for the
+// stage-histogram lookup ("/v1/eval" → "eval").
+func routeOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// stageBreakdown differences two /metrics scrapes into per-stage window
+// statistics for one route.
+func stageBreakdown(before, after MetricsSnapshot, route string) map[string]StageStats {
+	out := make(map[string]StageStats)
+	for stage, h := range after.StageHistograms(route) {
+		d := h.Sub(before.Histograms[h.Name])
+		if d.Count == 0 {
+			continue
+		}
+		out[stage] = StageStats{
+			Count:  d.Count,
+			MeanUS: d.Mean(),
+			P50US:  d.Quantile(0.50),
+			P99US:  d.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // percentile returns the p-quantile of sorted samples (nearest-rank).

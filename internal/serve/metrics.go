@@ -17,7 +17,7 @@ import (
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := obs.Default()
 	if reg == nil {
-		writeError(w, http.StatusServiceUnavailable, kindInternal,
+		writeError(w, r, http.StatusServiceUnavailable, kindInternal,
 			fmt.Errorf("metrics collection is disabled (no obs registry installed)"))
 		return
 	}
@@ -33,7 +33,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = reg.WriteNDJSON(w)
 	default:
-		writeError(w, http.StatusBadRequest, kindBadRequest,
+		writeError(w, r, http.StatusBadRequest, kindBadRequest,
 			fmt.Errorf("unknown metrics format %q (want text or ndjson)", format))
 	}
 }
@@ -58,7 +58,14 @@ func writeMetricsText(w http.ResponseWriter, reg *obs.Registry) {
 			if !math.IsInf(b.LE, 1) {
 				le = fmt.Sprintf("%g", b.LE)
 			}
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d", name, le, cum)
+			// OpenMetrics-style exemplar: the last trace observed into this
+			// bucket, so a fat slow bucket names a concrete /v1/trace?id= to
+			// pull up.
+			if b.Exemplar != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %g", b.Exemplar.Label, b.Exemplar.Value)
+			}
+			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)

@@ -6,12 +6,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/eval                    evaluate a scenario.Spec JSON body
-//	GET  /v1/experiments             list the registered reproductions
-//	POST /v1/experiments/{id}/run    run one reproduction
-//	GET  /v1/catalog                 the technique registry + param schemas
-//	GET  /healthz                    liveness probe
-//	GET  /metrics                    obs registry snapshot (text or NDJSON)
+//	POST   /v1/eval                    evaluate a scenario.Spec JSON body
+//	GET    /v1/experiments             list the registered reproductions
+//	POST   /v1/experiments/{id}/run    run one reproduction
+//	GET    /v1/catalog                 the technique registry + param schemas
+//	GET    /v1/trace                   recent request traces (?slow=D, ?route=, ?id=, ?limit=)
+//	GET    /v1/cache                   cache occupancy + hit ratios (?top=N)
+//	DELETE /v1/cache                   purge the response LRU and solver cache
+//	GET    /healthz                    liveness probe
+//	GET    /metrics                    obs registry snapshot (text or NDJSON)
 //
 // The serving layer carries the production muscles the one-shot CLI
 // never needed: a bounded admission semaphore (429 + Retry-After on
@@ -22,6 +25,16 @@
 // identical spec evaluations into one solve, a bounded LRU response
 // cache, structured access logging, and graceful shutdown that drains
 // in-flight evaluations.
+//
+// Every request is traced, always-on: the handler pipeline records a
+// per-stage span tree (admission → parse → fingerprint → cache lookup →
+// singleflight → engine → solver → render → write) with wall-clock and
+// allocation deltas, keeps the last TraceBuffer completed traces in a
+// fixed ring behind GET /v1/trace, returns the trace ID in the
+// X-Bandwall-Trace header, stamps it into the access log, and feeds
+// per-route × per-stage latency histograms whose bucket exemplars carry
+// trace IDs. A background collector samples runtime gauges (goroutines,
+// heap, GC) so /metrics answers "is the process healthy" too.
 package serve
 
 import (
@@ -29,9 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,17 +73,28 @@ type Config struct {
 	// CacheSize bounds the rendered-response LRU cache (entries). 0 means
 	// DefaultCacheSize; negative disables response caching.
 	CacheSize int
-	// AccessLog receives one structured line per request. Nil disables
-	// access logging.
+	// TraceBuffer sizes the ring of completed request traces behind
+	// GET /v1/trace. Tracing is always on; the ring only bounds retention.
+	// ≤0 means DefaultTraceBuffer.
+	TraceBuffer int
+	// RuntimeSampleInterval paces the background runtime-gauge collector
+	// (goroutines, heap, GC) started by Serve. ≤0 means
+	// DefaultRuntimeSampleInterval.
+	RuntimeSampleInterval time.Duration
+	// AccessLog receives one slog key=value line per request (method,
+	// path, status, bytes, duration, trace ID, cache disposition,
+	// singleflight-shared flag). Nil disables access logging.
 	AccessLog io.Writer
 }
 
 // Serving defaults.
 const (
-	DefaultMaxInflight  = 64
-	DefaultEvalTimeout  = 15 * time.Second
-	DefaultDrainTimeout = 10 * time.Second
-	DefaultCacheSize    = 1024
+	DefaultMaxInflight           = 64
+	DefaultEvalTimeout           = 15 * time.Second
+	DefaultDrainTimeout          = 10 * time.Second
+	DefaultCacheSize             = 1024
+	DefaultTraceBuffer           = 256
+	DefaultRuntimeSampleInterval = time.Second
 )
 
 func (c Config) maxInflight() int {
@@ -93,6 +118,20 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
+func (c Config) traceBuffer() int {
+	if c.TraceBuffer <= 0 {
+		return DefaultTraceBuffer
+	}
+	return c.TraceBuffer
+}
+
+func (c Config) runtimeSampleInterval() time.Duration {
+	if c.RuntimeSampleInterval <= 0 {
+		return DefaultRuntimeSampleInterval
+	}
+	return c.RuntimeSampleInterval
+}
+
 // Server is the HTTP evaluation service. Create one with NewServer; it
 // is safe for concurrent use by the stdlib HTTP stack.
 type Server struct {
@@ -102,8 +141,11 @@ type Server struct {
 	sem    chan struct{} // admission slots for the heavy endpoints
 	flight *group        // collapses concurrent identical evals
 	cache  *respCache    // fingerprint → rendered response
+	ring   *traceRing    // recent completed request traces
+	reg    *obs.Registry // resolved once at construction (may be nil)
+	stageH map[string]map[string]*obs.Histogram // route → stage → histogram, read-only after NewServer
 
-	accessLog *log.Logger
+	accessLog *slog.Logger
 	mux       *http.ServeMux
 
 	inflight atomic.Int64
@@ -137,6 +179,13 @@ const (
 	MetricCacheMisses        = "serve.cache.misses"
 	MetricLatencyUS          = "serve.latency_us"
 	MetricInflight           = "serve.inflight"
+
+	// Runtime gauges sampled by the background collector.
+	MetricGoroutines  = "runtime.goroutines"
+	MetricHeapBytes   = "runtime.heap_bytes"
+	MetricGCPauseMS   = "runtime.gc_pause_total_ms"
+	MetricGCLastPause = "runtime.gc_last_pause_us"
+	MetricGCCycles    = "runtime.gc_cycles"
 )
 
 // latencyBounds are the request-latency histogram buckets in
@@ -157,6 +206,20 @@ func RegisterObs(reg *obs.Registry) {
 	}
 	reg.Histogram(MetricLatencyUS, latencyBounds)
 	reg.Gauge(MetricInflight)
+	for _, name := range []string{
+		MetricGoroutines, MetricHeapBytes, MetricGCPauseMS, MetricGCLastPause, MetricGCCycles,
+	} {
+		reg.Gauge(name)
+	}
+	// The eval pipeline's stage histograms, pre-registered so /metrics has
+	// a stable shape before the first eval. Other routes register theirs
+	// lazily on first traffic.
+	for _, stage := range []string{
+		StageTotal, StageAdmit, StageParse, StageFingerprint,
+		StageCacheLookup, StageSingleflight, StageWrite,
+	} {
+		reg.Histogram(stageHistName("eval", stage), stageBounds)
+	}
 }
 
 // NewServer builds a Server over one shared scenario engine (and thus
@@ -171,6 +234,8 @@ func NewServer(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.maxInflight()),
 		flight:     newGroup(),
 		cache:      newRespCache(cfg.CacheSize),
+		ring:       newTraceRing(cfg.traceBuffer()),
+		reg:        reg,
 		mReqs:      reg.Counter(MetricRequests),
 		mSaturated: reg.Counter(MetricSaturated),
 		mSolves:    reg.Counter(MetricEvalSolves),
@@ -184,15 +249,32 @@ func NewServer(cfg Config) *Server {
 		s.mResp[class] = reg.Counter(fmt.Sprintf("serve.responses.%dxx", class))
 	}
 	if cfg.AccessLog != nil {
-		s.accessLog = log.New(cfg.AccessLog, "", 0)
+		s.accessLog = slog.New(slog.NewTextHandler(cfg.AccessLog, nil))
 	}
+	// Pre-resolve every route × stage histogram the tracer will feed, so
+	// recordStages is map reads on an immutable map, not registry lookups.
+	s.stageH = make(map[string]map[string]*obs.Histogram)
+	for _, route := range []string{"eval", "run", "metrics", "catalog", "experiments", "trace", "cache"} {
+		m := make(map[string]*obs.Histogram, 8)
+		for _, stage := range []string{
+			StageTotal, StageAdmit, StageParse, StageFingerprint,
+			StageCacheLookup, StageSingleflight, StageWrite,
+		} {
+			m[stage] = reg.Histogram(stageHistName(route, stage), stageBounds)
+		}
+		s.stageH[route] = m
+	}
+	s.SampleRuntime() // gauges hold real values before the collector's first tick
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
-	s.mux.HandleFunc("GET /v1/catalog", s.instrument(s.handleCatalog))
-	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
-	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.instrument(s.admit(s.handleExperimentRun)))
-	s.mux.HandleFunc("POST /v1/eval", s.instrument(s.admit(s.handleEval)))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/catalog", s.instrument("catalog", s.handleCatalog))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
+	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.instrument("run", s.admit(s.handleExperimentRun)))
+	s.mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.admit(s.handleEval)))
+	s.mux.HandleFunc("GET /v1/trace", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("GET /v1/cache", s.instrument("cache", s.handleCacheGet))
+	s.mux.HandleFunc("DELETE /v1/cache", s.instrument("cache", s.handleCacheDelete))
 	return s
 }
 
@@ -239,25 +321,49 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // instrument wraps a handler with request counting, latency recording,
-// and structured access logging. It deliberately avoids obs spans: a
-// span costs two runtime.ReadMemStats calls, far too heavy per request.
-func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+// always-on request tracing, and structured access logging. route is
+// the stable short name ("eval", "metrics", …) used for trace filtering
+// and the per-route stage histograms — Go 1.22's mux doesn't expose the
+// matched pattern, so it is passed explicitly. It deliberately avoids
+// registry spans (too heavy per request); obs.Trace spans read
+// runtime/metrics, a few hundred ns per edge.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.mReqs.Inc()
+		tr := obs.NewTrace(obs.NewTraceID(), route, 0)
+		w.Header().Set(TraceHeader, tr.ID())
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		rec := tr.Finish(sw.status) // before bookkeeping, so stages tile the trace wall
 		if class := sw.status / 100; class >= 2 && class <= 5 {
 			s.mResp[class].Inc()
 		}
 		dur := time.Since(start)
 		s.mLatency.Observe(float64(dur.Microseconds()))
+		s.ring.Push(rec)
+		s.recordStages(route, rec)
 		if s.accessLog != nil {
-			s.accessLog.Printf("%s method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
-				start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path, sw.status, sw.bytes, dur, r.RemoteAddr)
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("dur", dur),
+				slog.String("trace", tr.ID()),
+				slog.String("remote", r.RemoteAddr),
+			}
+			if v, ok := rec.Attrs["cache"]; ok {
+				attrs = append(attrs, slog.String("cache", v))
+			}
+			if v, ok := rec.Attrs["shared"]; ok {
+				attrs = append(attrs, slog.String("shared", v))
+			}
+			s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	}
 }
@@ -268,15 +374,18 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 // listener.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		admitSpan := obs.StartTraceSpanLeaf(r.Context(), StageAdmit)
 		select {
 		case s.sem <- struct{}{}:
 		default:
+			admitSpan.End()
 			s.mSaturated.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, kindSaturated,
+			writeError(w, r, http.StatusTooManyRequests, kindSaturated,
 				fmt.Errorf("server at capacity (%d in-flight requests)", cap(s.sem)))
 			return
 		}
+		admitSpan.End()
 		s.gInflight.Set(float64(s.inflight.Add(1)))
 		defer func() {
 			<-s.sem
@@ -287,7 +396,7 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 		if q := r.URL.Query().Get("timeout"); q != "" {
 			d, err := time.ParseDuration(q)
 			if err != nil || d <= 0 {
-				writeError(w, http.StatusBadRequest, kindBadRequest,
+				writeError(w, r, http.StatusBadRequest, kindBadRequest,
 					fmt.Errorf("invalid timeout %q (want a positive Go duration)", q))
 				return
 			}
@@ -303,6 +412,36 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SampleRuntime reads the Go runtime's health signals into the obs
+// gauges behind /metrics: goroutine count, live heap, cumulative and
+// most-recent GC pause, GC cycle count. Serve runs it on a ticker; it
+// is exported so embedders without a Serve loop can sample on demand.
+func (s *Server) SampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricHeapBytes).Set(float64(ms.HeapAlloc))
+	s.reg.Gauge(MetricGCPauseMS).Set(float64(ms.PauseTotalNs) / 1e6)
+	if ms.NumGC > 0 {
+		s.reg.Gauge(MetricGCLastPause).Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e3)
+	}
+	s.reg.Gauge(MetricGCCycles).Set(float64(ms.NumGC))
+}
+
+// collectRuntime samples runtime gauges until ctx is done.
+func (s *Server) collectRuntime(ctx context.Context) {
+	t := time.NewTicker(s.cfg.runtimeSampleInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.SampleRuntime()
+		}
+	}
 }
 
 // ListenAndServe serves on addr until ctx is canceled, then drains
@@ -328,6 +467,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// ReadMemStats briefly stops the world, so the collector runs on a
+	// fixed coarse tick, never per-request.
+	collectCtx, stopCollect := context.WithCancel(ctx)
+	defer stopCollect()
+	go s.collectRuntime(collectCtx)
 	errc := make(chan error, 1)
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -2,7 +2,9 @@
 # serve_smoke.sh — end-to-end smoke test of `bandwall serve` as a real
 # process: build, start, probe /healthz, evaluate the shipped
 # stacked-compression spec over HTTP (the Fig 12 answer: 18 cores),
-# scrape /metrics, then SIGTERM and require a graceful exit 0.
+# pull the request's trace from /v1/trace, inspect and purge the caches
+# via /v1/cache, scrape /metrics, then SIGTERM and require a graceful
+# exit 0.
 #
 # Run from the repo root: bash scripts/serve_smoke.sh
 set -euo pipefail
@@ -39,10 +41,56 @@ fi
 curl -sf "$BASE/healthz" | grep -q '"ok"'
 
 echo "== POST $SPEC"
-RESP="$(curl -sf -X POST --data-binary "@$SPEC" "$BASE/v1/eval")"
+HDRS="$(mktemp)"
+RESP="$(curl -sf -D "$HDRS" -X POST --data-binary "@$SPEC" "$BASE/v1/eval")"
 echo "$RESP" | grep -q '"cores@cc+lc":18' || {
   echo "FAIL: eval response missing the Fig 12 answer (cores@cc+lc=18):" >&2
   echo "$RESP" | head -c 600 >&2
+  exit 1
+}
+TRACE_ID="$(grep -i '^x-bandwall-trace:' "$HDRS" | tr -d '\r' | awk '{print $2}')"
+if [[ -z "$TRACE_ID" ]]; then
+  echo "FAIL: eval response missing the X-Bandwall-Trace header" >&2
+  exit 1
+fi
+
+echo "== GET /v1/trace?id=$TRACE_ID"
+TRACES="$(curl -sf "$BASE/v1/trace?id=$TRACE_ID")"
+echo "$TRACES" | grep -q "\"id\":\"$TRACE_ID\"" || {
+  echo "FAIL: /v1/trace does not return the eval's trace" >&2
+  echo "$TRACES" | head -c 600 >&2
+  exit 1
+}
+# The span tree must be non-empty and carry the pipeline stages.
+for stage in '"singleflight"' '"cache.lookup"' '"scenario.eval"'; do
+  echo "$TRACES" | grep -q "$stage" || {
+    echo "FAIL: trace span tree missing $stage" >&2
+    echo "$TRACES" | head -c 600 >&2
+    exit 1
+  }
+done
+
+echo "== GET /v1/cache"
+CACHE="$(curl -sf "$BASE/v1/cache")"
+echo "$CACHE" | grep -q '"response_cache"' || {
+  echo "FAIL: /v1/cache missing response_cache" >&2
+  exit 1
+}
+echo "$CACHE" | grep -q '"entries":1' || {
+  echo "FAIL: /v1/cache does not show the cached eval" >&2
+  echo "$CACHE" | head -c 600 >&2
+  exit 1
+}
+
+echo "== DELETE /v1/cache"
+PURGED="$(curl -sf -X DELETE "$BASE/v1/cache")"
+echo "$PURGED" | grep -q '"response_entries_purged":1' || {
+  echo "FAIL: purge did not report the cached response" >&2
+  echo "$PURGED" | head -c 600 >&2
+  exit 1
+}
+curl -sf "$BASE/v1/cache" | grep -q '"entries":0' || {
+  echo "FAIL: caches not empty after purge" >&2
   exit 1
 }
 
