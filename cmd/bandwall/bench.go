@@ -18,13 +18,16 @@ import (
 // track. Both pipelines run in this one process over the identical
 // replayed trace, so the ratios are meaningful even on noisy machines.
 type benchResult struct {
-	Name     string      `json:"name"`
-	BestOf   int         `json:"best_of"`
-	Config   benchConfig `json:"config"`
-	Brute    benchSide   `json:"brute"`
-	Mattson  benchSide   `json:"mattson"`
-	Speedup  float64     `json:"speedup"`         // brute ns/op ÷ mattson ns/op
-	AllocRed float64     `json:"alloc_reduction"` // brute B/op ÷ mattson B/op
+	Name       string             `json:"name"`
+	BestOf     int                `json:"best_of"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Config     benchConfig        `json:"config"`
+	Brute      benchSide          `json:"brute"`
+	Mattson    benchSide          `json:"mattson"` // serial kernel (workers pinned to 1)
+	Parallel   *benchParallelSide `json:"mattson_parallel,omitempty"`
+	Speedup    float64            `json:"speedup"`          // brute ns/op ÷ mattson serial ns/op
+	ParSpeedup float64            `json:"parallel_speedup"` // mattson serial ns/op ÷ parallel ns/op
+	AllocRed   float64            `json:"alloc_reduction"`  // brute B/op ÷ mattson B/op
 }
 
 type benchConfig struct {
@@ -39,6 +42,14 @@ type benchSide struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+}
+
+// benchParallelSide is the set-parallel kernel's measurement: the same
+// side fields plus the worker count the driver actually resolved to
+// (GOMAXPROCS-bounded, power of two, capped by the set count).
+type benchParallelSide struct {
+	benchSide
+	Workers int `json:"workers"`
 }
 
 // benchReps is the recorder's best-of count per pipeline.
@@ -64,6 +75,7 @@ func cmdBench(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	jsonFile := fs.String("json", "", "also record the measurements as JSON to `FILE`")
 	accesses := fs.Int("accesses", 0, "override the benchmark's access count (warmup scales along)")
+	workers := fs.Int("workers", 0, "set-parallel worker count for the parallel measurement (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +101,16 @@ func cmdBench(args []string, out io.Writer) error {
 	if _, err := bc.RunMattson(stream); err != nil {
 		return err
 	}
+	// The parallel side is only measured when the driver would actually
+	// fan out: on a 1-CPU box with -workers 0 (or a set count below the
+	// fallback threshold) it resolves to the serial kernel, and recording
+	// the same number twice under two names would be noise dressed as data.
+	parWorkers := bc.ParallelWorkers(*workers)
+	if parWorkers > 1 {
+		if _, err := bc.RunMattsonParallel(stream, *workers); err != nil {
+			return err
+		}
+	}
 	bruteFn := func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -105,13 +127,21 @@ func cmdBench(args []string, out io.Writer) error {
 			}
 		}
 	}
+	parFn := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.RunMattsonParallel(stream, *workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	// Interleaved best-of-N: scheduler and frequency noise on a shared
 	// machine only ever slows a run down, so the minimum ns/op over
 	// repetitions is the robust estimator (what benchstat calls the
 	// distribution floor), and alternating the two pipelines keeps slow
 	// machine phases from landing entirely on one side. The GC between
 	// runs stops one pipeline's heap churn from being billed to the next.
-	var brute, fast testing.BenchmarkResult
+	var brute, fast, par testing.BenchmarkResult
 	for rep := 0; rep < benchReps; rep++ {
 		runtime.GC()
 		if r := testing.Benchmark(bruteFn); rep == 0 || nsPerOp(r) < nsPerOp(brute) {
@@ -121,10 +151,17 @@ func cmdBench(args []string, out io.Writer) error {
 		if r := testing.Benchmark(fastFn); rep == 0 || nsPerOp(r) < nsPerOp(fast) {
 			fast = r
 		}
+		if parWorkers > 1 {
+			runtime.GC()
+			if r := testing.Benchmark(parFn); rep == 0 || nsPerOp(r) < nsPerOp(par) {
+				par = r
+			}
+		}
 	}
 	res := benchResult{
-		Name:   "misscurve",
-		BestOf: benchReps,
+		Name:       "misscurve",
+		BestOf:     benchReps,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Config: benchConfig{
 			Sizes:    bc.Sizes,
 			Assoc:    bc.Base.Assoc,
@@ -134,19 +171,33 @@ func cmdBench(args []string, out io.Writer) error {
 		Brute:   side(brute),
 		Mattson: side(fast),
 	}
+	if parWorkers > 1 {
+		res.Parallel = &benchParallelSide{benchSide: side(par), Workers: parWorkers}
+	}
 	if res.Mattson.NsPerOp > 0 {
 		res.Speedup = res.Brute.NsPerOp / res.Mattson.NsPerOp
+	}
+	if res.Parallel != nil && res.Parallel.NsPerOp > 0 {
+		res.ParSpeedup = res.Mattson.NsPerOp / res.Parallel.NsPerOp
 	}
 	if res.Mattson.BytesPerOp > 0 {
 		res.AllocRed = float64(res.Brute.BytesPerOp) / float64(res.Mattson.BytesPerOp)
 	}
-	fmt.Fprintf(out, "quick Fig 1 miss-curve sweep: %d sizes x %d accesses (%d warmup)\n",
-		len(bc.Sizes), bc.Accesses, bc.Warmup)
+	fmt.Fprintf(out, "quick Fig 1 miss-curve sweep: %d sizes x %d accesses (%d warmup), GOMAXPROCS=%d\n",
+		len(bc.Sizes), bc.Accesses, bc.Warmup, res.GoMaxProcs)
 	fmt.Fprintf(out, "  brute    : %12.0f ns/op  %10d B/op  %4d allocs/op  (%d iters)\n",
 		res.Brute.NsPerOp, res.Brute.BytesPerOp, res.Brute.AllocsPerOp, res.Brute.Iterations)
 	fmt.Fprintf(out, "  mattson  : %12.0f ns/op  %10d B/op  %4d allocs/op  (%d iters)\n",
 		res.Mattson.NsPerOp, res.Mattson.BytesPerOp, res.Mattson.AllocsPerOp, res.Mattson.Iterations)
 	fmt.Fprintf(out, "  speedup  : %.2fx wall-clock, %.1fx allocated bytes\n", res.Speedup, res.AllocRed)
+	if res.Parallel != nil {
+		fmt.Fprintf(out, "  parallel : %12.0f ns/op  %10d B/op  %4d allocs/op  (%d iters, %d workers)\n",
+			res.Parallel.NsPerOp, res.Parallel.BytesPerOp, res.Parallel.AllocsPerOp,
+			res.Parallel.Iterations, res.Parallel.Workers)
+		fmt.Fprintf(out, "  parspeed : %.2fx over the serial kernel\n", res.ParSpeedup)
+	} else {
+		fmt.Fprintf(out, "  parallel : skipped (resolved worker count %d; needs ≥ 2)\n", parWorkers)
+	}
 	if *jsonFile != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -30,6 +30,13 @@ type Options struct {
 	// pinned by tests); the flag exists as an escape hatch and as the
 	// cross-validation baseline.
 	Brute bool
+	// ProfileWorkers pins the mattson profiler's set-parallel worker
+	// count: 0 lets the profiler pick (GOMAXPROCS, with a serial fallback
+	// for small set counts), 1 forces the serial kernel. Results are
+	// bit-identical for every value — the partition is by cache set, and
+	// per-set LRU state never crosses a partition — so the knob only
+	// matters for wall-clock and for pinning one path in tests.
+	ProfileWorkers int
 }
 
 // Defaults returns full-fidelity options.

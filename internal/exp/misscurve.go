@@ -30,7 +30,7 @@ func missCurve(ctx context.Context, o Options, gen trace.Generator, base cachesi
 	if o.Brute {
 		return cachesim.MissCurveCtx(ctx, trace.Collect(gen, n), base, sizes, warmup)
 	}
-	return mattson.MissCurveFastCtx(ctx, gen, base, sizes, warmup, n)
+	return mattson.MissCurveFastParallel(ctx, gen, base, sizes, warmup, n, o.ProfileWorkers)
 }
 
 // missCurveTrace is the variant for drivers that replay one materialized
@@ -49,7 +49,7 @@ func missCurveTrace(ctx context.Context, o Options, tr []trace.Access, base cach
 	if err != nil {
 		return nil, err
 	}
-	return mattson.MissCurveFastCtx(ctx, rep, base, sizes, warmup, len(tr))
+	return mattson.MissCurveFastParallel(ctx, rep, base, sizes, warmup, len(tr), o.ProfileWorkers)
 }
 
 // runStats measures one configuration's post-warmup Stats over n accesses
@@ -60,7 +60,7 @@ func runStats(ctx context.Context, o Options, gen trace.Generator, cfg cachesim.
 		return cachesim.Stats{}, err
 	}
 	if !o.Brute && mattson.Eligible(cfg) && cfg.Assoc != 0 {
-		pts, err := mattson.MissCurveFastCtx(ctx, gen, cfg, []int{cfg.SizeBytes}, warmup, n)
+		pts, err := mattson.MissCurveFastParallel(ctx, gen, cfg, []int{cfg.SizeBytes}, warmup, n, o.ProfileWorkers)
 		if err != nil {
 			return cachesim.Stats{}, err
 		}

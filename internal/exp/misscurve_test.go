@@ -10,9 +10,11 @@ import (
 
 // TestFig01AlphaUnchangedByProfiler pins the acceptance criterion that the
 // single-pass profiler changes nothing about fig01's headline numbers: the
-// quick run with the default mattson path and with Options.Brute must
-// produce bit-identical fitted α values (both paths see the identical
-// deterministic stream, and the profiler's per-set LRU model is exact).
+// quick run with the default mattson path, with the set-parallel kernel
+// pinned to 4 workers, and with Options.Brute must all produce
+// bit-identical fitted α values (every path sees the identical
+// deterministic stream, the profiler's per-set LRU model is exact, and
+// the parallel partition never splits a set).
 func TestFig01AlphaUnchangedByProfiler(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick fig01 sweep")
@@ -25,8 +27,13 @@ func TestFig01AlphaUnchangedByProfiler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fast.Values) != len(brute.Values) {
-		t.Fatalf("value sets differ: %d vs %d", len(fast.Values), len(brute.Values))
+	par, err := runFig01(context.Background(), Options{Quick: true, ProfileWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Values) != len(brute.Values) || len(par.Values) != len(brute.Values) {
+		t.Fatalf("value sets differ: mattson %d, parallel %d, brute %d",
+			len(fast.Values), len(par.Values), len(brute.Values))
 	}
 	checked := 0
 	for k, bv := range brute.Values {
@@ -35,11 +42,19 @@ func TestFig01AlphaUnchangedByProfiler(t *testing.T) {
 			t.Errorf("mattson run missing value %q", k)
 			continue
 		}
+		pv, ok := par.Values[k]
+		if !ok {
+			t.Errorf("parallel run missing value %q", k)
+			continue
+		}
 		if strings.HasPrefix(k, "alpha:") {
 			checked++
 		}
 		if fv != bv && !(math.IsNaN(fv) && math.IsNaN(bv)) {
 			t.Errorf("%s: mattson %v != brute %v", k, fv, bv)
+		}
+		if pv != fv && !(math.IsNaN(pv) && math.IsNaN(fv)) {
+			t.Errorf("%s: parallel(4) %v != mattson %v", k, pv, fv)
 		}
 	}
 	if checked == 0 {

@@ -1,6 +1,8 @@
 package mattson
 
 import (
+	"context"
+
 	"repro/internal/cachesim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -59,7 +61,27 @@ func (f Fig1Bench) RunBrute(stream trace.Generator) ([]cachesim.CurvePoint, erro
 }
 
 // RunMattson executes one single-pass pipeline iteration over the same
-// stream.
+// stream with the serial kernel pinned (workers=1), so recorded serial
+// numbers stay comparable across machines regardless of GOMAXPROCS.
 func (f Fig1Bench) RunMattson(stream trace.Generator) ([]cachesim.CurvePoint, error) {
-	return MissCurveFast(stream, f.Base, f.Sizes, f.Warmup, f.Accesses)
+	return MissCurveFastParallel(context.Background(), stream, f.Base, f.Sizes, f.Warmup, f.Accesses, 1)
+}
+
+// RunMattsonParallel is RunMattson with the set-parallel driver pinned to
+// workers (0 = GOMAXPROCS). Output is bit-identical to RunMattson.
+func (f Fig1Bench) RunMattsonParallel(stream trace.Generator, workers int) ([]cachesim.CurvePoint, error) {
+	return MissCurveFastParallel(context.Background(), stream, f.Base, f.Sizes, f.Warmup, f.Accesses, workers)
+}
+
+// ParallelWorkers reports the worker count RunMattsonParallel(stream, w)
+// actually resolves to for this configuration — what `bandwall bench`
+// records next to the parallel measurement.
+func (f Fig1Bench) ParallelWorkers(w int) int {
+	sets := (f.Sizes[0] / f.Base.LineBytes) / f.Base.Assoc
+	for _, sz := range f.Sizes[1:] {
+		if s := (sz / f.Base.LineBytes) / f.Base.Assoc; s < sets {
+			sets = s
+		}
+	}
+	return parallelWorkers(w, sets)
 }

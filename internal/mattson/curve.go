@@ -51,7 +51,21 @@ func MissCurveFast(gen trace.Generator, base cachesim.Config, sizes []int, warmu
 // MissCurveFastCtx is MissCurveFast with cancellation checked at chunk
 // boundaries of the streaming pass (every chunkAccesses accesses), so a
 // canceled sweep aborts within one chunk instead of draining the stream.
+// Set-associative sweeps use the set-parallel driver when GOMAXPROCS and
+// the set count allow it (results are bit-identical either way).
 func MissCurveFastCtx(ctx context.Context, gen trace.Generator, base cachesim.Config, sizes []int, warmup, n int) ([]cachesim.CurvePoint, error) {
+	return MissCurveFastParallel(ctx, gen, base, sizes, warmup, n, 0)
+}
+
+// MissCurveFastParallel is MissCurveFastCtx with the set-parallel worker
+// count pinned: 0 picks GOMAXPROCS, 1 forces the serial kernel, higher
+// values are rounded down to a power of two and capped so each worker
+// keeps at least minPartSets sets of the smallest swept size (the serial
+// fallback threshold). Output is bit-identical for every worker count —
+// the partition is by set index, and per-set LRU state never crosses a
+// partition boundary — so the knob only trades wall-clock for goroutines.
+// Fully-associative and fallback (non-Eligible) sweeps ignore it.
+func MissCurveFastParallel(ctx context.Context, gen trace.Generator, base cachesim.Config, sizes []int, warmup, n, workers int) ([]cachesim.CurvePoint, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("mattson: no sizes to sweep")
 	}
@@ -81,7 +95,7 @@ func MissCurveFastCtx(ctx context.Context, gen trace.Generator, base cachesim.Co
 	if base.Assoc == 0 {
 		return faCurve(ctx, gen, cfgs, warmup, n)
 	}
-	return setCurve(ctx, gen, cfgs, warmup, n)
+	return setCurve(ctx, gen, cfgs, warmup, n, workers)
 }
 
 // faCurve profiles fully-associative sizes via one reuse-distance
@@ -142,10 +156,17 @@ const chunkAccesses = 4096
 // the followers' lookups. Leftover sizes run the single-profiler packed
 // loop. Batcher generators (trace replays) hand chunks out as zero-copy
 // sub-slices.
-func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, warmup, n int) ([]cachesim.CurvePoint, error) {
+//
+// When workers resolves above 1 (see parallelWorkers) and the sweep is
+// packable (Assoc ≤ 8), the set-parallel driver in feedParallel takes
+// over the feed; the per-set arrays and scratch come from a pooled arena
+// either way, so repeated sweeps stay near zero-alloc.
+func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, warmup, n, workers int) ([]cachesim.CurvePoint, error) {
+	ar := getArena()
+	defer putArena(ar)
 	profs := make([]*SetProfiler, len(cfgs))
 	for i, cfg := range cfgs {
-		p, err := NewSetProfiler(cfg)
+		p, err := newSetProfiler(cfg, ar)
 		if err != nil {
 			return nil, err
 		}
@@ -161,30 +182,42 @@ func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, 
 	sort.Slice(order, func(a, b int) bool {
 		return cfgs[order[a]].SizeBytes > cfgs[order[b]].SizeBytes
 	})
-	var fused [][5]*SetProfiler
-	var single []*SetProfiler
+	var fused []fusedGroup
+	var single []int
 	i := 0
 	if profs[0].assoc == 8 {
 		for ; i+5 <= len(order); i += 5 {
-			var g [5]*SetProfiler
-			for j := range g {
-				g[j] = profs[order[i+j]]
+			var g fusedGroup
+			for j := 0; j < 5; j++ {
+				g.idx[j] = order[i+j]
+				g.p[j] = profs[order[i+j]]
 			}
 			fused = append(fused, g)
 		}
 	}
 	for ; i < len(order); i++ {
-		single = append(single, profs[order[i]])
+		single = append(single, order[i])
 	}
 	packable := profs[0].assoc <= 8
+	minSets := int(profs[0].setMask) + 1
+	for _, p := range profs[1:] {
+		if m := int(p.setMask) + 1; m < minSets {
+			minSets = m
+		}
+	}
+	if packable {
+		if w := parallelWorkers(workers, minSets); w > 1 {
+			return setCurveParallel(ctx, gen, cfgs, profs, fused, single, warmup, n, w, minSets, ar)
+		}
+	}
 	var packedBuf []uint64
 	if packable && len(single) > 0 {
-		packedBuf = make([]uint64, 0, chunkAccesses)
+		packedBuf = ar.grab(chunkAccesses)[:0]
 	}
 	batcher, _ := gen.(trace.Batcher)
 	var buf []trace.Access
 	if batcher == nil {
-		buf = make([]trace.Access, chunkAccesses)
+		buf = ar.grabAccess(chunkAccesses)
 	}
 	feed := func(count int) error {
 		for count > 0 {
@@ -198,17 +231,17 @@ func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, 
 				batch = trace.CollectInto(gen, buf[:min(count, chunkAccesses)])
 			}
 			for _, g := range fused {
-				runFused5(batch, profs[0].lineShift, g[0], g[1], g[2], g[3], g[4])
+				runFused5(batch, profs[0].lineShift, g.p[0], g.p[1], g.p[2], g.p[3], g.p[4])
 			}
 			if len(single) > 0 {
 				if packable {
 					packed := packInto(packedBuf, batch, profs[0].lineShift)
-					for _, p := range single {
-						p.runPacked(packed)
+					for _, si := range single {
+						profs[si].runPacked(packed)
 					}
 				} else {
-					for _, p := range single {
-						p.runShift(batch)
+					for _, si := range single {
+						profs[si].runShift(batch)
 					}
 				}
 			}
@@ -225,11 +258,79 @@ func setCurve(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, 
 	if err := feed(n - warmup); err != nil {
 		return nil, err
 	}
+	return curvePoints(cfgs, profs), nil
+}
+
+// curvePoints snapshots the profilers' stats into the result shape,
+// publishing each size's simulated traffic to the obs registry.
+func curvePoints(cfgs []cachesim.Config, profs []*SetProfiler) []cachesim.CurvePoint {
 	out := make([]cachesim.CurvePoint, len(cfgs))
 	for i, p := range profs {
 		st := p.Stats()
 		cachesim.PublishStats(st)
 		out[i] = cachesim.CurvePoint{SizeBytes: cfgs[i].SizeBytes, Stats: st}
 	}
-	return out, nil
+	return out
+}
+
+// setCurveParallel is the set-parallel feed: w workers each own a
+// contiguous range of the smallest profiler's set-index space (which
+// partitions every profiler's sets at once — see parallel.go). The main
+// goroutine packs each chunk once and broadcasts the read-only slice;
+// packing chunk k+1 overlaps the workers' pass over chunk k via double
+// buffering. Worker counters merge into the profilers only at the warmup
+// boundary and the end of the feed, so the hot path takes no locks.
+func setCurveParallel(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, profs []*SetProfiler, fused []fusedGroup, single []int, warmup, n, w, minSets int, ar *sweepArena) ([]cachesim.CurvePoint, error) {
+	run := startWorkers(w, minSets, ar, fused, single, profs)
+	defer run.stop()
+	pbufs := [2][]uint64{ar.grab(parallelChunk), ar.grab(parallelChunk)}
+	batcher, _ := gen.(trace.Batcher)
+	var abufs [2][]trace.Access
+	if batcher == nil {
+		all := ar.grabAccess(2 * parallelChunk)
+		abufs[0], abufs[1] = all[:parallelChunk], all[parallelChunk:]
+	}
+	cur := 0
+	feed := func(count int) error {
+		pending := false
+		for count > 0 {
+			if err := robust.Err(ctx); err != nil {
+				if pending {
+					run.wait()
+				}
+				return err
+			}
+			m := min(count, parallelChunk)
+			var batch []trace.Access
+			if batcher != nil {
+				batch = batcher.Batch(m)
+			} else {
+				batch = trace.CollectInto(gen, abufs[cur][:m])
+			}
+			packed := packInto(pbufs[cur][:0], batch, profs[0].lineShift)
+			if pending {
+				run.wait()
+			}
+			run.broadcast(packed)
+			pending = true
+			cur ^= 1
+			count -= len(batch)
+		}
+		if pending {
+			run.wait()
+		}
+		return nil
+	}
+	if err := feed(warmup); err != nil {
+		return nil, err
+	}
+	run.merge(profs)
+	for _, p := range profs {
+		p.ResetStats()
+	}
+	if err := feed(n - warmup); err != nil {
+		return nil, err
+	}
+	run.merge(profs)
+	return curvePoints(cfgs, profs), nil
 }

@@ -1,0 +1,260 @@
+package mattson
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// This file holds the set-parallel sweep driver. Cache sets are
+// independent under any per-set replacement policy: an access touches
+// exactly the set its line address indexes, and no profiler state crosses
+// set boundaries. The swept sizes share one base configuration, so their
+// power-of-two set counts are nested, and an access's set index in every
+// profiler agrees modulo the smallest set count S_min. Partitioning the
+// S_min index space into contiguous ranges therefore partitions the sets
+// of *every* profiler at once: worker w owns the accesses whose
+// (lineAddr & (S_min-1)) falls in its range, and those accesses touch
+// only w's sets in each profiler, in the original stream order. The
+// parallel sweep is exact — bit-identical Stats to the serial kernel for
+// any worker count — not an approximation.
+//
+// Mechanically, the main goroutine packs each chunk once (packInto) and
+// broadcasts the shared read-only packed slice to every worker; packing
+// the next chunk overlaps the workers' pass over the current one. Each
+// worker filter-copies its own accesses into private scratch with a
+// branchless append (the "is mine" test is data-dependent and would
+// mispredict ~(W-1)/W of the time as a branch), then runs the same fused
+// five-size kernel / packed single-profiler kernels as the serial path
+// over the compacted sub-stream, accumulating counters into worker-local
+// partStats. Stats merge into the profilers only at feed boundaries, on
+// the main goroutine.
+
+// minPartSets is the serial-fallback threshold: each worker must own at
+// least this many sets of the smallest profiler, or partitions get too
+// narrow for the filter cost to amortize and the sweep stays serial.
+const minPartSets = 8
+
+// parallelChunk is the broadcast batch size for the parallel driver —
+// large enough to amortize the per-chunk barrier, well under
+// fusedMaxChunk so the packed 20-bit counter fields cannot overflow.
+const parallelChunk = 32768
+
+// parallelWorkers resolves the worker count for a sweep whose smallest
+// profiler has minSets sets: requested (0 = GOMAXPROCS) rounded down to a
+// power of two — partitions must divide the power-of-two set space
+// evenly — and capped so every worker keeps at least minPartSets sets.
+// The result is ≥ 1; 1 means the serial driver runs.
+func parallelWorkers(requested, minSets int) int {
+	if requested == 1 || minSets <= 0 {
+		return 1
+	}
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	cap := minSets / minPartSets
+	if requested > cap {
+		requested = cap
+	}
+	if requested < 2 {
+		return 1
+	}
+	// Round down to a power of two.
+	return 1 << (bits.Len(uint(requested)) - 1)
+}
+
+// partStats is one worker's private view of one profiler's counters,
+// merged into the shared Stats at feed boundaries.
+type partStats struct {
+	n, hits, evictions, writeBacks uint64
+}
+
+// addPacked folds one chunk's packed counter word (hits, evictions<<20,
+// writeBacks<<40) for n accesses into the accumulator.
+func (a *partStats) addPacked(n int, c uint64) {
+	a.n += uint64(n)
+	a.hits += c & (fusedMaxChunk - 1)
+	a.evictions += (c >> 20) & (fusedMaxChunk - 1)
+	a.writeBacks += c >> 40
+}
+
+// addPart folds a worker's accumulated counters into the profiler's
+// Stats, mirroring flushPacked's derived fields. Main-goroutine only.
+func (p *SetProfiler) addPart(a partStats) {
+	misses := a.n - a.hits
+	p.stats.Accesses += a.n
+	p.stats.Hits += a.hits
+	p.stats.Misses += misses
+	p.stats.Evictions += a.evictions
+	p.stats.WriteBacks += a.writeBacks
+	p.stats.FillBytes += misses * p.lineBytes
+	p.stats.WriteBackBytes += a.writeBacks * p.lineBytes
+}
+
+// sweepArena is a pooled slab allocator for one sweep's transient arrays:
+// per-set ways blocks, packed chunk double-buffers, per-worker filter
+// scratch, and the access-collection buffers. Sweeps allocate the same
+// shapes every call, so recycling the slabs keeps repeated sweeps
+// (benchmark iterations, batch queries) near zero-alloc in steady state.
+// Grabbed memory is dirty; callers initialize every word they later read.
+type sweepArena struct {
+	words  []uint64
+	used   int
+	access []trace.Access
+}
+
+var arenaPool = sync.Pool{New: func() any { return &sweepArena{} }}
+
+func getArena() *sweepArena {
+	a := arenaPool.Get().(*sweepArena)
+	a.used = 0
+	return a
+}
+
+func putArena(a *sweepArena) { arenaPool.Put(a) }
+
+// grab returns n uninitialized words. A nil arena degrades to a plain
+// allocation (the standalone NewSetProfiler path). When the current slab
+// runs out, a fresh one replaces it — earlier grabs keep referencing the
+// old slab until the sweep ends, and the pool retains only the newest,
+// largest slab for the next call.
+func (a *sweepArena) grab(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	if a.used+n > len(a.words) {
+		size := 2 * (a.used + n)
+		if size < len(a.words) {
+			size = len(a.words)
+		}
+		a.words = make([]uint64, size)
+		a.used = 0
+	}
+	s := a.words[a.used : a.used+n : a.used+n]
+	a.used += n
+	return s
+}
+
+// grabAccess returns an n-element access buffer, reusing the pooled one
+// when it is large enough.
+func (a *sweepArena) grabAccess(n int) []trace.Access {
+	if cap(a.access) < n {
+		a.access = make([]trace.Access, n)
+	}
+	return a.access[:n]
+}
+
+// fusedGroup is one quintet of strictly nested 8-way profilers driven by
+// the fused kernel, with their indices into the sweep's profiler slice
+// (which is how workers address their partStats accumulators).
+type fusedGroup struct {
+	p   [5]*SetProfiler
+	idx [5]int
+}
+
+// curveWorker owns one contiguous range of the smallest profiler's set
+// index space: the accesses with (lineAddr & pm) >> pshift == pid.
+type curveWorker struct {
+	pm     uint64 // S_min - 1
+	pshift uint   // log2(S_min / workers)
+	pid    uint64 // this worker's partition index
+	buf    []uint64
+	accs   []partStats // one per profiler, indexed like profs
+	in     chan []uint64
+}
+
+// run consumes broadcast packed chunks until the channel closes,
+// filtering each down to the worker's partition and running the shared
+// kernels over the compacted sub-stream. The ways arrays are shared
+// across workers but each 16-word set block is written by exactly one
+// worker (the partition invariant), so no synchronization beyond the
+// per-chunk barrier is needed.
+func (w *curveWorker) run(fused []fusedGroup, singles []int, profs []*SetProfiler, wg *sync.WaitGroup) {
+	pm, pshift, pid := w.pm, w.pshift&63, w.pid
+	for packed := range w.in {
+		buf := w.buf[:len(packed)]
+		j := 0
+		for i := 0; i < len(packed); i++ {
+			x := packed[i]
+			buf[j] = x
+			j += int(b2u(((x>>1)&pm)>>pshift == pid))
+		}
+		sub := buf[:j]
+		for _, g := range fused {
+			c := runFused5Packed(sub, g.p[0], g.p[1], g.p[2], g.p[3], g.p[4])
+			for k := 0; k < 5; k++ {
+				w.accs[g.idx[k]].addPacked(j, c[k])
+			}
+		}
+		for _, si := range singles {
+			h, e, wb := profs[si].runPackedCounters(sub)
+			acc := &w.accs[si]
+			acc.n += uint64(j)
+			acc.hits += h
+			acc.evictions += e
+			acc.writeBacks += wb
+		}
+		wg.Done()
+	}
+}
+
+// parallelRun drives the worker pool for one sweep.
+type parallelRun struct {
+	workers []*curveWorker
+	wg      sync.WaitGroup
+}
+
+// startWorkers builds and launches W workers over the sweep's profilers.
+// minSets is the smallest profiler's set count; scratch comes from ar.
+func startWorkers(w int, minSets int, ar *sweepArena, fused []fusedGroup, singles []int, profs []*SetProfiler) *parallelRun {
+	pr := &parallelRun{workers: make([]*curveWorker, w)}
+	pshift := uint(bits.TrailingZeros(uint(minSets / w)))
+	for i := range pr.workers {
+		cw := &curveWorker{
+			pm:     uint64(minSets - 1),
+			pshift: pshift,
+			pid:    uint64(i),
+			buf:    ar.grab(parallelChunk),
+			accs:   make([]partStats, len(profs)),
+			in:     make(chan []uint64, 1),
+		}
+		pr.workers[i] = cw
+		go cw.run(fused, singles, profs, &pr.wg)
+	}
+	return pr
+}
+
+// broadcast hands one packed chunk to every worker and returns once all
+// of them are scheduled to pick it up; wait() blocks until they finish.
+func (pr *parallelRun) broadcast(packed []uint64) {
+	pr.wg.Add(len(pr.workers))
+	for _, w := range pr.workers {
+		w.in <- packed
+	}
+}
+
+func (pr *parallelRun) wait() { pr.wg.Wait() }
+
+// merge folds every worker's accumulators into the profilers and zeroes
+// them — the feed-boundary synchronization point (warmup reset, final
+// stats). Callers must have wait()ed first.
+func (pr *parallelRun) merge(profs []*SetProfiler) {
+	for _, w := range pr.workers {
+		for i, acc := range w.accs {
+			if acc.n != 0 {
+				profs[i].addPart(acc)
+			}
+			w.accs[i] = partStats{}
+		}
+	}
+}
+
+// stop shuts the workers down. Safe after any number of broadcasts as
+// long as wait() has been called since the last one.
+func (pr *parallelRun) stop() {
+	for _, w := range pr.workers {
+		close(w.in)
+	}
+}

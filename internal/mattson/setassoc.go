@@ -91,6 +91,16 @@ type SetProfiler struct {
 // NewSetProfiler builds a profiler for cfg, which must be Eligible and
 // set-associative (Assoc ≥ 1; use Profiler for fully-associative sweeps).
 func NewSetProfiler(cfg cachesim.Config) (*SetProfiler, error) {
+	return newSetProfiler(cfg, nil)
+}
+
+// newSetProfiler is NewSetProfiler with the ways array optionally carved
+// out of a pooled sweep arena: the curve drivers rebuild their per-set
+// arrays every call, and drawing them from the arena keeps repeated
+// sweeps (benchmarks, batch queries) near zero-alloc. Arena memory is
+// dirty; the init loop below writes every word the kernels read (the six
+// pad words per 16-word block are write-only).
+func newSetProfiler(cfg cachesim.Config, ar *sweepArena) (*SetProfiler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,7 +125,7 @@ func NewSetProfiler(cfg cachesim.Config) (*SetProfiler, error) {
 		// page offsets — false store-to-load dependencies (4K aliasing)
 		// on nearly every fused iteration.
 		pad := int(p.setShift&7) * 16
-		buf := make([]uint64, sets*16+pad)
+		buf := ar.grab(sets*16 + pad)
 		p.ways = buf[pad : pad+sets*16]
 		for s := 0; s < sets; s++ {
 			b := p.ways[s*16 : s*16+16]
@@ -129,7 +139,7 @@ func NewSetProfiler(cfg cachesim.Config) (*SetProfiler, error) {
 		p.vAdd = uint32(9-cfg.Assoc) * 0x11111111 & low
 		p.aAdd = 0x11111111 & low
 	} else {
-		p.ways = make([]uint64, sets*cfg.Assoc)
+		p.ways = ar.grab(sets * cfg.Assoc)
 		for i := range p.ways {
 			p.ways[i] = invalidTag
 		}
@@ -211,7 +221,23 @@ func permRare(st []uint64, zm, base, tag, mask uint64) (uint64, uint64, uint64, 
 	return 0, 0, 0, false
 }
 
-// runPacked is the single-profiler hot loop for Assoc ≤ 8. Per access:
+// runPacked streams one packed chunk through the model and folds the
+// counters into the profiler's Stats. The loop body lives in
+// runPackedCounters so the parallel sweep driver can run the identical
+// kernel against a worker-private accumulator instead of the shared Stats.
+func (p *SetProfiler) runPacked(packed []uint64) {
+	hits, evictions, writeBacks := p.runPackedCounters(packed)
+	misses := uint64(len(packed)) - hits
+	p.stats.Accesses += uint64(len(packed))
+	p.stats.Hits += hits
+	p.stats.Misses += misses
+	p.stats.Evictions += evictions
+	p.stats.WriteBacks += writeBacks
+	p.stats.FillBytes += misses * p.lineBytes
+	p.stats.WriteBackBytes += writeBacks * p.lineBytes
+}
+
+// runPackedCounters is the single-profiler hot loop for Assoc ≤ 8. Per access:
 // one fingerprint word answers "which way, if any, can hold this tag"
 // (exact zero-byte SWAR; candidates are verified against the real tag, so
 // signature collisions cost a retry, never correctness). A hit reads its
@@ -222,7 +248,7 @@ func permRare(st []uint64, zm, base, tag, mask uint64) (uint64, uint64, uint64, 
 // indexes are pre-masked by the power-of-two array sizes, which both
 // proves bounds away and keeps a stray signature byte inside the set's
 // own 16-word stride.
-func (p *SetProfiler) runPacked(packed []uint64) {
+func (p *SetProfiler) runPackedCounters(packed []uint64) (hits, evictions, writeBacks uint64) {
 	st := p.ways
 	setMask := p.setMask
 	tagShift := p.setShift & 63
@@ -233,7 +259,6 @@ func (p *SetProfiler) runPacked(packed []uint64) {
 	if len(st) == 0 {
 		return
 	}
-	var hits, evictions, writeBacks uint64
 	for i := 0; i < len(packed); i++ {
 		w := packed[i]
 		la := w >> 1
@@ -279,14 +304,7 @@ func (p *SetProfiler) runPacked(packed []uint64) {
 		evictions += eb
 		writeBacks += eb & (prev >> 63)
 	}
-	misses := uint64(len(packed)) - hits
-	p.stats.Accesses += uint64(len(packed))
-	p.stats.Hits += hits
-	p.stats.Misses += misses
-	p.stats.Evictions += evictions
-	p.stats.WriteBacks += writeBacks
-	p.stats.FillBytes += misses * p.lineBytes
-	p.stats.WriteBackBytes += writeBacks * p.lineBytes
+	return hits, evictions, writeBacks
 }
 
 // runShift is the fallback loop for associativities above 8, where the

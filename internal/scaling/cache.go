@@ -3,6 +3,8 @@ package scaling
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,14 @@ import (
 // Alongside the fingerprint the key carries everything else that
 // determines the root: the baseline allocation, α, the chip area, and the
 // traffic budget.
+//
+// The map is sharded by the low bits of the fingerprint's hash: each
+// shard owns its own lock and map segment, so the serve tier's worker
+// pool doing mixed-stack batch queries no longer serializes every lookup
+// on one RWMutex (a single reader-count cache line bouncing between
+// cores is contention even when every request is a hit). Entries with
+// equal fingerprints land in the same shard; introspection (Info, Len,
+// Purge) aggregates across shards.
 
 // Fingerprint is the canonical identity of a technique stack for solver
 // memoization: its resolved parameter set. Two stacks with equal
@@ -37,6 +47,37 @@ type Fingerprint struct {
 // FingerprintOf resolves a stack to its canonical fingerprint.
 func FingerprintOf(st technique.Stack) Fingerprint {
 	return Fingerprint{Params: st.Params()}
+}
+
+// hash folds the fingerprint's resolved parameters through FNV-1a over
+// their bit patterns. Deterministic across processes (the shard layout is
+// reproducible) and cheap enough to vanish next to a map probe.
+func (fp Fingerprint) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	p := fp.Params
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(math.Float64bits(p.DieDensity))
+	if p.ExtraDie {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(math.Float64bits(p.ExtraDieDensity))
+	mix(math.Float64bits(p.CacheMult))
+	mix(math.Float64bits(p.TrafficDiv))
+	mix(math.Float64bits(p.CoreArea))
+	mix(math.Float64bits(p.SharedFrac))
+	mix(math.Float64bits(p.PrivateSharedFrac))
+	// Fold the high bits down so "low bits of the hash" sees the whole
+	// word even with a small shard count.
+	return h ^ h>>32
 }
 
 // cacheKey is one memoized solver evaluation.
@@ -56,13 +97,26 @@ type evalEntry struct {
 	hits atomic.Uint64
 }
 
+// evalShard is one lock + map segment. Padded to a cache line so
+// neighboring shards' lock words don't false-share.
+type evalShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]*evalEntry
+	_  [64 - unsafe.Sizeof(sync.RWMutex{})%64]byte
+}
+
+// DefaultEvalCacheShards is the shard count NewEvalCache uses: enough
+// that a few dozen engine workers rarely collide, small enough that
+// aggregation stays trivial.
+const DefaultEvalCacheShards = 16
+
 // EvalCache memoizes successful SupportableCores evaluations. It is safe
 // for concurrent use by the engine's worker pool. Errors are never cached:
 // domain violations fail fast before any root finding, and injected or
 // transient faults must not poison later retries.
 type EvalCache struct {
-	mu sync.RWMutex
-	m  map[cacheKey]*evalEntry
+	shards []evalShard
+	mask   uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -71,14 +125,39 @@ type EvalCache struct {
 	obsMisses *obs.Counter
 }
 
-// NewEvalCache returns an empty cache wired to the process obs registry
-// (scaling.cache.hits / scaling.cache.misses count across all solves).
+// NewEvalCache returns an empty cache with DefaultEvalCacheShards shards,
+// wired to the process obs registry (scaling.cache.hits /
+// scaling.cache.misses count across all solves and all shards).
 func NewEvalCache() *EvalCache {
-	return &EvalCache{
-		m:         make(map[cacheKey]*evalEntry),
+	return NewEvalCacheShards(0)
+}
+
+// NewEvalCacheShards is NewEvalCache with the shard count pinned: 0 means
+// DefaultEvalCacheShards, other values round up to a power of two.
+// NewEvalCacheShards(1) reproduces the pre-sharding single-lock layout —
+// kept callable for contention benchmarks.
+func NewEvalCacheShards(n int) *EvalCache {
+	if n <= 0 {
+		n = DefaultEvalCacheShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	c := &EvalCache{
+		shards:    make([]evalShard, n),
+		mask:      uint64(n - 1),
 		obsHits:   obs.Default().Counter("scaling.cache.hits"),
 		obsMisses: obs.Default().Counter("scaling.cache.misses"),
 	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*evalEntry)
+	}
+	return c
+}
+
+// shard picks the segment for one fingerprint: the low bits of its hash.
+func (c *EvalCache) shard(fp Fingerprint) *evalShard {
+	return &c.shards[fp.hash()&c.mask]
 }
 
 // key builds the full memoization key for a solve on s.
@@ -106,9 +185,10 @@ func (c *EvalCache) SupportableCoresFP(ctx context.Context, s Solver, fp Fingerp
 		return s.SupportableCoresCtx(ctx, st, n2, budget)
 	}
 	k := c.key(s, fp, n2, budget)
-	c.mu.RLock()
-	e, ok := c.m[k]
-	c.mu.RUnlock()
+	sh := c.shard(fp)
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 		c.obsHits.Inc()
@@ -125,13 +205,13 @@ func (c *EvalCache) SupportableCoresFP(ctx context.Context, s Solver, fp Fingerp
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	if prev, ok := c.m[k]; ok {
+	sh.mu.Lock()
+	if prev, ok := sh.m[k]; ok {
 		v = prev.val // concurrent solvers: keep the first answer (they agree)
 	} else {
-		c.m[k] = &evalEntry{val: v}
+		sh.m[k] = &evalEntry{val: v}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return v, nil
 }
 
@@ -154,27 +234,45 @@ func (c *EvalCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// Len returns the number of memoized evaluations.
+// Shards returns the shard count (introspection and tests).
+func (c *EvalCache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// Len returns the number of memoized evaluations across all shards.
 func (c *EvalCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Purge drops every memoized evaluation and returns how many were held.
 // Hit/miss counters are preserved — they describe lifetime traffic, not
-// current contents.
+// current contents. Shards purge one at a time; a purge concurrent with
+// eval load empties every segment without ever blocking them all at once.
 func (c *EvalCache) Purge() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := len(c.m)
-	c.m = make(map[cacheKey]*evalEntry)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.m = make(map[cacheKey]*evalEntry)
+		sh.mu.Unlock()
+	}
 	return n
 }
 
@@ -190,6 +288,7 @@ type StackInfo struct {
 // Info summarizes the cache for introspection endpoints.
 type Info struct {
 	Entries     int         `json:"entries"`
+	Shards      int         `json:"shards"`
 	Hits        uint64      `json:"hits"`
 	Misses      uint64      `json:"misses"`
 	ApproxBytes uint64      `json:"approx_bytes"`
@@ -198,34 +297,42 @@ type Info struct {
 
 // Info reports occupancy, lifetime traffic, an approximate byte
 // footprint, and the topN hottest stack fingerprints (Yavits-style
-// measured-occupancy numbers for cache sizing). topN ≤ 0 omits the
-// ranking.
+// measured-occupancy numbers for cache sizing), aggregated across every
+// shard. topN ≤ 0 omits the ranking. Shards are visited one at a time, so
+// the view is per-shard consistent but not a global atomic snapshot —
+// fine for the monitoring endpoint it feeds.
 func (c *EvalCache) Info(topN int) Info {
 	if c == nil {
 		return Info{}
 	}
 	const entryBytes = uint64(unsafe.Sizeof(cacheKey{})+unsafe.Sizeof(evalEntry{})) + 8 // key + entry + pointer
-	c.mu.RLock()
 	info := Info{
-		Entries:     len(c.m),
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		ApproxBytes: uint64(len(c.m)) * entryBytes,
+		Shards: len(c.shards),
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
 	}
 	var agg map[technique.Params]*StackInfo
 	if topN > 0 {
 		agg = make(map[technique.Params]*StackInfo)
-		for k, e := range c.m {
-			si := agg[k.fp.Params]
-			if si == nil {
-				si = &StackInfo{Stack: fmt.Sprintf("%+v", k.fp.Params)}
-				agg[k.fp.Params] = si
-			}
-			si.Entries++
-			si.Hits += e.hits.Load()
-		}
 	}
-	c.mu.RUnlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		info.Entries += len(sh.m)
+		if topN > 0 {
+			for k, e := range sh.m {
+				si := agg[k.fp.Params]
+				if si == nil {
+					si = &StackInfo{Stack: fmt.Sprintf("%+v", k.fp.Params)}
+					agg[k.fp.Params] = si
+				}
+				si.Entries++
+				si.Hits += e.hits.Load()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	info.ApproxBytes = uint64(info.Entries) * entryBytes
 	if topN > 0 {
 		top := make([]StackInfo, 0, len(agg))
 		for _, si := range agg {

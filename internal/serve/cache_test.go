@@ -6,7 +6,9 @@ import (
 )
 
 func TestRespCacheLRU(t *testing.T) {
-	c := newRespCache(2)
+	// One shard pins the strict global recency order this test asserts;
+	// the sharded default only guarantees LRU order within a shard.
+	c := newRespCacheShards(2, 1)
 	c.Put("a", []byte("A"))
 	c.Put("b", []byte("B"))
 	if v, ok := c.Get("a"); !ok || string(v) != "A" {
@@ -50,10 +52,40 @@ func TestRespCacheDisabled(t *testing.T) {
 
 func TestRespCacheDefaultSize(t *testing.T) {
 	c := newRespCache(0)
-	for i := 0; i < DefaultCacheSize+10; i++ {
+	// Enough distinct keys to saturate every shard: once all segments are
+	// full the aggregate occupancy is exactly the configured bound.
+	for i := 0; i < 4*DefaultCacheSize; i++ {
 		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
 	}
 	if c.Len() != DefaultCacheSize {
 		t.Errorf("Len = %d, want the default bound %d", c.Len(), DefaultCacheSize)
+	}
+	if c.Shards() != DefaultCacheShards {
+		t.Errorf("Shards = %d, want %d", c.Shards(), DefaultCacheShards)
+	}
+}
+
+func TestRespCacheShardClamp(t *testing.T) {
+	// A tiny capacity must shrink the shard count so every shard holds at
+	// least one entry, and the shard capacities must sum to the bound.
+	c := newRespCacheShards(3, 0)
+	if c.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", c.Shards())
+	}
+	total := 0
+	for i := range c.shards {
+		if c.shards[i].max < 1 {
+			t.Errorf("shard %d max = %d, want ≥ 1", i, c.shards[i].max)
+		}
+		total += c.shards[i].max
+	}
+	if total != 3 {
+		t.Errorf("shard capacities sum to %d, want 3", total)
+	}
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if c.Len() > 3 {
+		t.Errorf("Len = %d, want ≤ 3", c.Len())
 	}
 }

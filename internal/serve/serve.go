@@ -73,6 +73,11 @@ type Config struct {
 	// CacheSize bounds the rendered-response LRU cache (entries). 0 means
 	// DefaultCacheSize; negative disables response caching.
 	CacheSize int
+	// CacheShards pins the response cache's shard count (rounded up to a
+	// power of two, capped so every shard holds at least one entry).
+	// 0 means DefaultCacheShards; 1 degrades to the single-lock global
+	// LRU.
+	CacheShards int
 	// TraceBuffer sizes the ring of completed request traces behind
 	// GET /v1/trace. Tracing is always on; the ring only bounds retention.
 	// ≤0 means DefaultTraceBuffer.
@@ -233,7 +238,7 @@ func NewServer(cfg Config) *Server {
 		engine:     scenario.NewEngine(),
 		sem:        make(chan struct{}, cfg.maxInflight()),
 		flight:     newGroup(),
-		cache:      newRespCache(cfg.CacheSize),
+		cache:      newRespCacheShards(cfg.CacheSize, cfg.CacheShards),
 		ring:       newTraceRing(cfg.traceBuffer()),
 		reg:        reg,
 		mReqs:      reg.Counter(MetricRequests),

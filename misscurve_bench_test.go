@@ -52,3 +52,21 @@ func BenchmarkMissCurveMattson(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMissCurveParallel measures the set-parallel kernel with the
+// worker count following GOMAXPROCS, so `go test -bench MissCurveParallel
+// -cpu 1,2,4,8` sweeps the scaling curve in one invocation. Results are
+// bit-identical to the serial kernel at every point; only wall-clock
+// moves. At -cpu 1 the driver falls back to the serial kernel, making
+// that sub-benchmark the baseline for the ratio.
+func BenchmarkMissCurveParallel(b *testing.B) {
+	bc := mattson.QuickFig1Bench()
+	stream := trace.MustReplayer(masterTrace())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.RunMattsonParallel(stream, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
