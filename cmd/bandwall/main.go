@@ -8,7 +8,8 @@
 //	bandwall run [suite flags] [-quick] <experiment-id>... | all
 //	bandwall eval [suite flags] SPEC.json...
 //	bandwall serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
-//	bandwall loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
+//	bandwall gateway -replicas URL,URL,... [-addr HOST:PORT] [-attempts N] [-breaker-threshold N] [-breaker-cooldown D] [-hedge Q] [-stale-cache N]
+//	bandwall loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-chaos] [-json FILE]
 //	bandwall top [-url URL] [-interval D] [-n N] [-route R] [-plain]
 //	bandwall cores [-n2 N] [-budget B] [-alpha A] [-tech SPEC]
 //	bandwall traffic [-p2 P] [-c2 C] [-alpha A] [-tech SPEC]
@@ -105,6 +106,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdEval(ctx, args[1:], out)
 	case "serve":
 		return cmdServe(ctx, args[1:], out)
+	case "gateway":
+		return cmdGateway(ctx, args[1:], out)
 	case "loadgen":
 		return cmdLoadgen(ctx, args[1:], out)
 	case "top":
@@ -141,7 +144,8 @@ subcommands:
   run       run reproductions:       run [suite flags] [-quick] fig02 fig15 | all
   eval      evaluate scenario specs: eval [suite flags] examples/scenarios/stacked-compression.json
   serve     HTTP evaluation service: serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
-  loadgen   drive a running server:  loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-json FILE]
+  gateway   fleet front tier:        gateway -replicas URL,URL,... [-addr HOST:PORT] [-attempts N] [-breaker-threshold N] [-breaker-cooldown D] [-hedge Q] [-stale-cache N]
+  loadgen   drive a running server:  loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-chaos] [-json FILE]
   top       live server dashboard:   top [-url URL] [-interval D] [-n N] [-route R] [-plain]
   cores     supportable cores:       cores -n2 256 -budget 1 -alpha 0.5 -tech "DRAM=8" [-verbose]
   traffic   relative traffic:        traffic -p2 12 -c2 20 -alpha 0.5 -tech ""

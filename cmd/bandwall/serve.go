@@ -148,6 +148,8 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "scenario spec file to POST (empty: GET the path)")
 	conns := fs.Int("c", 32, "concurrent closed-loop connections")
 	dur := fs.Duration("d", 5*time.Second, "measurement duration")
+	chaos := fs.Bool("chaos", false, "chaos mode: rotate distinct-fingerprint spec variants (spreads load across a fleet ring); only shed load (429/503) and client-visible failures are reported separately")
+	chaosSpecs := fs.Int("chaos-specs", 0, "chaos-mode spec variant pool size (0: default)")
 	jsonPath := fs.String("json", "", "also record the result as JSON to `FILE` (e.g. BENCH_serve.json); merges by -c")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -155,7 +157,8 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 	if fs.NArg() > 0 {
 		return usagef("loadgen: unexpected argument %q", fs.Arg(0))
 	}
-	cfg := serve.LoadgenConfig{URL: *url, Path: *path, Conns: *conns, Duration: *dur}
+	cfg := serve.LoadgenConfig{URL: *url, Path: *path, Conns: *conns, Duration: *dur,
+		Chaos: *chaos, ChaosVariants: *chaosSpecs}
 	if *specPath != "" {
 		body, err := os.ReadFile(*specPath)
 		if err != nil {
@@ -163,13 +166,24 @@ func cmdLoadgen(ctx context.Context, args []string, out io.Writer) error {
 		}
 		cfg.Body = body
 	}
-	fmt.Fprintf(out, "loadgen       : %s%s, %d conns, %s\n", *url, *path, *conns, *dur)
+	mode := ""
+	if *chaos {
+		mode = ", chaos"
+	}
+	fmt.Fprintf(out, "loadgen       : %s%s, %d conns, %s%s\n", *url, *path, *conns, *dur, mode)
 	res, err := serve.Loadgen(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, res.String())
-	if res.Errors > 0 {
+	// In chaos mode shed load (429/503 with Retry-After honored) is the
+	// server degrading as designed, not a client-visible failure; only
+	// visible errors fail the run.
+	if *chaos {
+		if v := res.Visible(); v > 0 {
+			return fmt.Errorf("loadgen: %d of %d requests failed visibly", v, res.Requests)
+		}
+	} else if res.Errors > 0 {
 		return fmt.Errorf("loadgen: %d of %d requests failed", res.Errors, res.Requests)
 	}
 	if *jsonPath != "" {

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one of the three classic circuit-breaker states.
+type breakerState int
+
+const (
+	// stateClosed: traffic flows; consecutive failures are counted.
+	stateClosed breakerState = iota
+	// stateOpen: the replica is skipped entirely until the cooldown
+	// elapses.
+	stateOpen
+	// stateHalfOpen: exactly one probe request is admitted; its outcome
+	// decides between closing and reopening.
+	stateHalfOpen
+)
+
+// String implements fmt.Stringer for introspection bodies.
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-replica three-state circuit breaker fed by both
+// passive failure accounting (proxied requests) and the active health
+// checker. Closed→open trips on a run of consecutive failures; open
+// admits nothing until the cooldown elapses, then transitions to
+// half-open and admits a single probe (a live request or a health
+// check, whichever arrives first); the probe's outcome closes or
+// reopens the circuit.
+//
+// One deliberate asymmetry: a health-check success does NOT reset the
+// closed-state failure counter (see HealthSuccess). A replica can
+// answer /healthz forever while failing every real request — the
+// injected serve.eval=panic chaos plan is exactly that replica — and
+// real-traffic signal must win. It also keeps seeded fault runs
+// deterministic: the background health ticker cannot race the failure
+// count back to zero between two proxied requests.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int           // consecutive failures while closed
+	threshold int           // fails reaching this trips the breaker
+	cooldown  time.Duration // open → half-open delay
+	reopenAt  time.Time     // when the open state may admit a probe
+	probing   bool          // a half-open probe is in flight
+	opens     uint64        // lifetime closed/half-open → open transitions
+	onTrip    func()        // optional metrics hook, invoked on each trip
+
+	now func() time.Time // test hook; time.Now in production
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be routed to this replica right
+// now. In the open state it flips to half-open once the cooldown has
+// elapsed, admitting the caller as the single probe; in half-open it
+// admits nothing while a probe is already in flight.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Before(b.reopenAt) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful interaction (a proxied request that got
+// any well-formed HTTP answer, or a half-open probe that worked).
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.fails = 0
+	case stateHalfOpen:
+		b.state = stateClosed
+		b.fails = 0
+		b.probing = false
+	case stateOpen:
+		// A straggler from before the circuit opened; the cooldown — not a
+		// stale success — decides when to probe again.
+	}
+}
+
+// Failure records a failed interaction: connect error, 5xx, per-attempt
+// timeout, or a failed health check.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case stateHalfOpen:
+		// The probe failed: straight back to open, fresh cooldown.
+		b.trip()
+		b.probing = false
+	case stateOpen:
+		// Already open; stragglers don't extend the cooldown.
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = stateOpen
+	b.fails = 0
+	b.reopenAt = b.now().Add(b.cooldown)
+	b.opens++
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// Cancel releases an admitted request without an outcome — the caller
+// was cancelled (deadline budget spent, hedge loser) before the replica
+// could prove anything. In half-open it frees the probe slot so the
+// next request can probe; in closed and open it is a no-op. Crucially
+// it is NOT a Failure: a gateway-side cancellation says nothing about
+// the replica.
+func (b *breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+	}
+}
+
+// HealthSuccess records a passing active health check. In half-open it
+// counts as the probe succeeding (a restarted replica rejoins the ring
+// without waiting for live traffic to gamble on it); in closed and open
+// it deliberately does nothing — see the type comment.
+func (b *breaker) HealthSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.state = stateClosed
+		b.fails = 0
+		b.probing = false
+	}
+}
+
+// State returns the current state (for /healthz introspection).
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the lifetime count of trips to open.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerClosedToOpenThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker refused traffic after %d/3 failures", i+1)
+		}
+		if st := b.State(); st != stateClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, st)
+		}
+	}
+	b.Failure() // third consecutive failure trips it
+	if st := b.State(); st != stateOpen {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsClosedCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // a real request success resets the consecutive count
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != stateClosed {
+		t.Fatalf("state = %v, want closed (success should have reset the run)", st)
+	}
+	b.Failure()
+	if st := b.State(); st != stateOpen {
+		t.Fatalf("state = %v, want open after a fresh run of 3", st)
+	}
+}
+
+func TestBreakerHealthSuccessDoesNotResetClosedCount(t *testing.T) {
+	// The deliberate asymmetry: a replica can pass /healthz forever while
+	// failing every real request, so health successes must not defuse the
+	// failure run.
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.HealthSuccess()
+	b.Failure()
+	if st := b.State(); st != stateOpen {
+		t.Fatalf("state = %v, want open (health check must not reset the count)", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if st := b.State(); st != stateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("admitted before cooldown elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if st := b.State(); st != stateHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	// Exactly one probe: a second concurrent request is refused.
+	if b.Allow() {
+		t.Fatal("half-open admitted a second request while probing")
+	}
+	// Probe failure → straight back to open, fresh cooldown.
+	b.Failure()
+	if st := b.State(); st != stateOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted without a new cooldown")
+	}
+	// Probe success → closed.
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if st := b.State(); st != stateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerHealthSuccessClosesHalfOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() { // a request claims the half-open probe slot…
+		t.Fatal("probe refused")
+	}
+	b.HealthSuccess() // …but the active checker proves recovery first
+	if st := b.State(); st != stateClosed {
+		t.Fatalf("state = %v, want closed after health probe success", st)
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// The probe request was cancelled client-side: that says nothing about
+	// the replica, so the slot frees without a state change.
+	b.Cancel()
+	if st := b.State(); st != stateHalfOpen {
+		t.Fatalf("state after Cancel = %v, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released after Cancel")
+	}
+}
+
+func TestBreakerPerReplicaIndependence(t *testing.T) {
+	a, _ := newTestBreaker(2, time.Second)
+	b, _ := newTestBreaker(2, time.Second)
+	a.Failure()
+	a.Failure()
+	if st := a.State(); st != stateOpen {
+		t.Fatalf("a = %v, want open", st)
+	}
+	if st := b.State(); st != stateClosed {
+		t.Fatalf("b = %v, want closed (breakers must be independent)", st)
+	}
+	if !b.Allow() {
+		t.Fatal("healthy replica's breaker refused traffic")
+	}
+}

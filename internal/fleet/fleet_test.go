@@ -1,0 +1,585 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/robust"
+	"repro/internal/scenario"
+	"repro/internal/serve"
+)
+
+// specWithID builds a trivially distinct one-case spec (same shape the
+// serve tests use), so each id routes and caches under its own
+// fingerprint.
+func specWithID(id string, n2 float64) string {
+	return fmt.Sprintf(`{"id":%q,"axis":{"n2":[%g]},"cases":[{"label":"BASE","value_key":"cores"}]}`, id, n2)
+}
+
+// installPlan parses a fault-plan spec and installs it as the process
+// injector, returning the restore function.
+func installPlan(t *testing.T, spec string) (restore func()) {
+	t.Helper()
+	plan, err := robust.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return robust.SetInjector(robust.NewInjector(plan, 1))
+}
+
+// fingerprintOf computes the routing fingerprint the gateway will use
+// for a spec body.
+func fingerprintOf(t *testing.T, body string) string {
+	t.Helper()
+	sp, err := scenario.ParseSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := serve.FingerprintSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// stubReplica is a switchable fake serve replica: mode selects the
+// behavior of POST /v1/eval; /healthz always answers 200.
+type stubReplica struct {
+	ts    *httptest.Server
+	mode  atomic.Int32 // 0 = 200 JSON, 1 = 500, 2 = hang until ctx done then 500
+	calls atomic.Uint64
+	// canceled flips when a hanging request saw its context cancelled —
+	// the hedge-loser proof.
+	canceled atomic.Bool
+}
+
+const (
+	stubOK int32 = iota
+	stub500
+	stubHang
+)
+
+func newStubReplica(t *testing.T) *stubReplica {
+	t.Helper()
+	s := &stubReplica{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/eval", func(w http.ResponseWriter, r *http.Request) {
+		s.calls.Add(1)
+		// Drain the body like a real replica would: the stdlib server only
+		// watches for client disconnects (cancelling r.Context) once the
+		// request body has been consumed.
+		_, _ = io.Copy(io.Discard, r.Body)
+		switch s.mode.Load() {
+		case stub500:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = io.WriteString(w, `{"error":"stub failure","kind":"internal"}`)
+		case stubHang:
+			select {
+			case <-r.Context().Done():
+				s.canceled.Store(true)
+			case <-time.After(10 * time.Second):
+			}
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, `{"stub":"`+s.ts.URL+`"}`)
+		}
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// newTestGateway stands up n stub replicas and a gateway over them with
+// fast, deterministic settings (no hedging, no active health loop —
+// tests drive the handler directly). Overrides are applied to cfg
+// before construction.
+func newTestGateway(t *testing.T, n int, override func(*Config)) (*Gateway, []*stubReplica) {
+	t.Helper()
+	prev := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	t.Cleanup(func() { obs.SetDefault(prev) })
+	stubs := make([]*stubReplica, n)
+	bases := make([]string, n)
+	for i := range stubs {
+		stubs[i] = newStubReplica(t)
+		bases[i] = stubs[i].ts.URL
+	}
+	cfg := Config{
+		Replicas:      bases,
+		Timeout:       5 * time.Second,
+		RetryBase:     time.Millisecond,
+		HedgeQuantile: -1, // hedging off unless a test opts in
+	}
+	if override != nil {
+		override(&cfg)
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, stubs
+}
+
+// stubByBase maps a gateway replica order back to the test's stubs.
+func stubByBase(stubs []*stubReplica, base string) *stubReplica {
+	for _, s := range stubs {
+		if s.ts.URL == base {
+			return s
+		}
+	}
+	return nil
+}
+
+func postGateway(t *testing.T, g *Gateway, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestRendezvousOrderDeterministicAndSpread(t *testing.T) {
+	g, _ := newTestGateway(t, 3, nil)
+	heads := map[string]int{}
+	for i := 0; i < 30; i++ {
+		key := fingerprintOf(t, specWithID(fmt.Sprintf("rv-%d", i), 16))
+		o1 := rendezvousOrder(g.replicas, key)
+		o2 := rendezvousOrder(g.replicas, key)
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("key %s: order not deterministic at position %d", key[:12], j)
+			}
+		}
+		if len(o1) != 3 {
+			t.Fatalf("order has %d replicas, want 3", len(o1))
+		}
+		heads[o1[0].base]++
+	}
+	if len(heads) != 3 {
+		t.Errorf("30 keys mapped onto only %d of 3 replicas: %v", len(heads), heads)
+	}
+}
+
+func TestEvalRoutesToOwnerAndSticks(t *testing.T) {
+	g, _ := newTestGateway(t, 3, nil)
+	body := specWithID("route-stick", 16)
+	owner := rendezvousOrder(g.replicas, fingerprintOf(t, body))[0].base
+	for i := 0; i < 3; i++ {
+		w := postGateway(t, g, "/v1/eval", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, w.Code, w.Body)
+		}
+		if got := w.Header().Get(ReplicaHeader); got != owner {
+			t.Errorf("request %d went to %s, want owner %s", i, got, owner)
+		}
+		if got := w.Header().Get(AttemptsHeader); got != "1" {
+			t.Errorf("request %d attempts = %s, want 1", i, got)
+		}
+	}
+}
+
+func TestEvalFailoverOn5xx(t *testing.T) {
+	g, stubs := newTestGateway(t, 3, nil)
+	body := specWithID("failover-5xx", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	stubByBase(stubs, order[0].base).mode.Store(stub500)
+
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != order[1].base {
+		t.Errorf("served by %s, want second-choice %s", got, order[1].base)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "2" {
+		t.Errorf("attempts = %s, want 2", got)
+	}
+}
+
+func TestEvalFailoverOnConnectError(t *testing.T) {
+	g, stubs := newTestGateway(t, 3, nil)
+	body := specWithID("failover-conn", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	stubByBase(stubs, order[0].base).ts.Close() // kill -9, as far as TCP is concerned
+
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != order[1].base {
+		t.Errorf("served by %s, want second-choice %s", got, order[1].base)
+	}
+}
+
+func TestEvalBreakerOpensAndSkipsDeadReplica(t *testing.T) {
+	g, stubs := newTestGateway(t, 3, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = time.Hour // never half-opens during the test
+	})
+	body := specWithID("breaker-skip", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	bad := stubByBase(stubs, order[0].base)
+	bad.mode.Store(stub500)
+
+	// Two failovers feed two passive failures: the breaker trips.
+	for i := 0; i < 2; i++ {
+		if w := postGateway(t, g, "/v1/eval", body); w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, w.Code)
+		}
+	}
+	if st := order[0].br.State(); st != stateOpen {
+		t.Fatalf("owner breaker = %v, want open after threshold failures", st)
+	}
+	callsBefore := bad.calls.Load()
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "1" {
+		t.Errorf("attempts with open breaker = %s, want 1 (dead replica skipped)", got)
+	}
+	if bad.calls.Load() != callsBefore {
+		t.Error("open breaker still routed traffic to the dead replica")
+	}
+}
+
+func TestDomainErrorNeverReachesRing(t *testing.T) {
+	g, _ := newTestGateway(t, 3, nil)
+	// A structurally valid JSON body that fails spec validation: unknown
+	// technique name → robust.ErrDomain.
+	bad := `{"id":"dom","axis":{"n2":[16]},"cases":[{"label":"X","value_key":"v","stack":[{"name":"NOPE"}]}]}`
+	w := postGateway(t, g, "/v1/eval", bad)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body)
+	}
+	var ge gwError
+	if err := json.Unmarshal(w.Body.Bytes(), &ge); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	if ge.Kind != kindDomain {
+		t.Errorf("kind = %q, want %q", ge.Kind, kindDomain)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "0" {
+		t.Errorf("attempts = %s, want 0 (domain errors must not be proxied, let alone retried)", got)
+	}
+	for base, hits := range g.ReplicaHits() {
+		if hits != 0 {
+			t.Errorf("replica %s saw %d proxy attempts for a domain-invalid spec", base, hits)
+		}
+	}
+}
+
+func TestBudgetExhaustedIs504(t *testing.T) {
+	g, stubs := newTestGateway(t, 2, func(c *Config) {
+		c.Timeout = 80 * time.Millisecond
+	})
+	for _, s := range stubs {
+		s.mode.Store(stubHang)
+	}
+	start := time.Now()
+	w := postGateway(t, g, "/v1/eval", specWithID("budget", 16))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body)
+	}
+	var ge gwError
+	_ = json.Unmarshal(w.Body.Bytes(), &ge)
+	if ge.Kind != kindCanceled {
+		t.Errorf("kind = %q, want %q", ge.Kind, kindCanceled)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("budget-bound request took %s", el)
+	}
+}
+
+func TestStaleDegradedServing(t *testing.T) {
+	g, stubs := newTestGateway(t, 2, nil)
+	body := specWithID("stale", 16)
+
+	// Warm the stale reserve with a healthy answer.
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("warmup status %d", w.Code)
+	}
+	fresh := w.Body.String()
+	if g.StaleLen() != 1 {
+		t.Fatalf("stale reserve = %d entries, want 1", g.StaleLen())
+	}
+
+	// Total ring failure: every replica gone.
+	for _, s := range stubs {
+		s.ts.Close()
+	}
+	w = postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded status %d, want 200 from the stale reserve: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(DegradedHeader); got != "stale" {
+		t.Errorf("%s = %q, want %q", DegradedHeader, got, "stale")
+	}
+	if w.Body.String() != fresh {
+		t.Error("degraded body differs from the cached fresh response")
+	}
+
+	// A fingerprint with no reserve entry degrades to 503 + Retry-After.
+	w = postGateway(t, g, "/v1/eval", specWithID("stale-miss", 16))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("uncached degraded status %d, want 503: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	var ge gwError
+	_ = json.Unmarshal(w.Body.Bytes(), &ge)
+	if ge.Kind != kindUnavailable {
+		t.Errorf("kind = %q, want %q", ge.Kind, kindUnavailable)
+	}
+}
+
+func TestHedgeWinnerAndLoserCancelled(t *testing.T) {
+	g, stubs := newTestGateway(t, 2, func(c *Config) {
+		c.HedgeQuantile = DefaultHedgeQuantile
+		c.HedgeAfter = 20 * time.Millisecond
+		c.MaxAttempts = 1 // isolate hedging from failover
+	})
+	body := specWithID("hedge", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	slow := stubByBase(stubs, order[0].base)
+	slow.mode.Store(stubHang)
+
+	reg := obs.Default()
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the hedge: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != order[1].base {
+		t.Errorf("served by %s, want hedge target %s", got, order[1].base)
+	}
+	if n := reg.Counter(MetricHedges).Value(); n != 1 {
+		t.Errorf("hedges = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricHedgeWins).Value(); n != 1 {
+		t.Errorf("hedge wins = %d, want 1", n)
+	}
+	// The loser's in-flight request must be cancelled promptly — its
+	// handler observes ctx.Done firing, not the 10s hang elapsing.
+	deadline := time.Now().Add(2 * time.Second)
+	for !slow.canceled.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("hedge loser's request context was never cancelled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGatewayHealthzReportsBreakers(t *testing.T) {
+	g, stubs := newTestGateway(t, 2, func(c *Config) { c.BreakerThreshold = 1 })
+	body := specWithID("hz", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	stubByBase(stubs, order[0].base).mode.Store(stub500)
+	if w := postGateway(t, g, "/v1/eval", body); w.Code != http.StatusOK {
+		t.Fatalf("eval status %d", w.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d (one replica is still fine): %s", w.Code, w.Body)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || len(hr.Replicas) != 2 {
+		t.Fatalf("health = %+v", hr)
+	}
+	states := map[string]string{}
+	for _, rs := range hr.Replicas {
+		states[rs.Base] = rs.Breaker
+	}
+	if states[order[0].base] != "open" {
+		t.Errorf("failed replica breaker = %q, want open", states[order[0].base])
+	}
+	if states[order[1].base] != "closed" {
+		t.Errorf("healthy replica breaker = %q, want closed", states[order[1].base])
+	}
+}
+
+func TestInjectedDialFaultFailsOver(t *testing.T) {
+	g, _ := newTestGateway(t, 2, nil)
+	body := specWithID("inject-dial", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+
+	// A transient dial fault scoped to the preferred replica: the gateway
+	// must fail over without the replica ever seeing the request.
+	defer installPlan(t, "fleet.dial@"+order[0].base+"=transient x1")()
+
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != order[1].base {
+		t.Errorf("served by %s, want %s", got, order[1].base)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "2" {
+		t.Errorf("attempts = %s, want 2", got)
+	}
+}
+
+func TestInjectedProxyPanicIsContained(t *testing.T) {
+	g, _ := newTestGateway(t, 2, func(c *Config) { c.MaxAttempts = 2 })
+	body := specWithID("inject-panic", 16)
+	order := rendezvousOrder(g.replicas, fingerprintOf(t, body))
+	defer installPlan(t, "fleet.proxy@"+order[0].base+"=panic x1")()
+
+	// The injected panic is contained by robust.Safe at the injection
+	// point and classified Permanent → surfaced, not retried, and the
+	// process survives.
+	w := postGateway(t, g, "/v1/eval", body)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 for a contained proxy panic: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "1" {
+		t.Errorf("attempts = %s, want 1 (permanent faults are not retried)", got)
+	}
+}
+
+func TestValidateRoundRobinsAndPassesThrough(t *testing.T) {
+	// Real serve replicas here: validation semantics live server-side.
+	g, _, _ := newServeFleet(t, 2, nil)
+	good := specWithID("val-ok", 16)
+	w := postGateway(t, g, "/v1/validate", good)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var vr serve.ValidateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Valid || vr.ID != "val-ok" || vr.Fingerprint != fingerprintOf(t, good) {
+		t.Errorf("validate = %+v", vr)
+	}
+
+	bad := `{"id":"val-bad","axis":{"n2":[16]},"cases":[{"label":"X","value_key":"v","stack":[{"name":"NOPE"}]}]}`
+	w = postGateway(t, g, "/v1/validate", bad)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid spec status %d, want 400: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"domain"`) {
+		t.Errorf("replica's domain taxonomy body not passed through: %s", w.Body)
+	}
+}
+
+func TestCachePartitioningAcrossReplicas(t *testing.T) {
+	g, _, servers := newServeFleet(t, 3, nil)
+	const specs = 30
+	for i := 0; i < specs; i++ {
+		body := specWithID(fmt.Sprintf("part-%02d", i), float64(16+i))
+		w := postGateway(t, g, "/v1/eval", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("spec %d: status %d: %s", i, w.Code, w.Body)
+		}
+	}
+	// Each replica's response cache must hold a non-empty, pairwise
+	// disjoint shard of the fingerprint space, summing to every spec —
+	// the consistent-hash partition in the flesh.
+	seen := map[string]int{}
+	total := 0
+	for ri, s := range servers {
+		info := s.CacheInfo(specs * 2)
+		if info.ResponseCache.Entries == 0 {
+			t.Errorf("replica %d holds no cache entries (keyspace not spread)", ri)
+		}
+		total += info.ResponseCache.Entries
+		for _, ent := range info.ResponseCache.Top {
+			if prev, dup := seen[ent.Fingerprint]; dup {
+				t.Errorf("fingerprint %s cached on both replica %d and %d", ent.Fingerprint, prev, ri)
+			}
+			seen[ent.Fingerprint] = ri
+		}
+	}
+	if total != specs {
+		t.Errorf("fleet-wide cache entries = %d, want %d (each spec cached exactly once)", total, specs)
+	}
+	if len(seen) != specs {
+		t.Errorf("distinct cached fingerprints = %d, want %d", len(seen), specs)
+	}
+}
+
+// newServeFleet builds a gateway over n REAL serve-tier servers sharing
+// one obs registry, for tests that need end-to-end semantics.
+func newServeFleet(t *testing.T, n int, override func(*Config)) (*Gateway, []*httptest.Server, []*serve.Server) {
+	t.Helper()
+	prev := obs.Default()
+	reg := obs.NewRegistry()
+	serve.RegisterObs(reg)
+	obs.SetDefault(reg)
+	t.Cleanup(func() { obs.SetDefault(prev) })
+	servers := make([]*serve.Server, n)
+	fronts := make([]*httptest.Server, n)
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		servers[i] = serve.NewServer(serve.Config{})
+		fronts[i] = httptest.NewServer(servers[i].Handler())
+		t.Cleanup(fronts[i].Close)
+		bases[i] = fronts[i].URL
+	}
+	cfg := Config{
+		Replicas:      bases,
+		Timeout:       10 * time.Second,
+		RetryBase:     time.Millisecond,
+		HedgeQuantile: -1,
+	}
+	if override != nil {
+		override(&cfg)
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, fronts, servers
+}
+
+func TestGatewayDrainFlipsReadiness(t *testing.T) {
+	g, _ := newTestGateway(t, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	addrc := make(chan string, 1)
+	go func() {
+		done <- g.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrc <- a.String() })
+	}()
+	base := "http://" + <-addrc
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live healthz = %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drained gateway returned %v, want nil", err)
+	}
+	if !g.Draining() {
+		t.Error("Draining() = false after shutdown")
+	}
+}

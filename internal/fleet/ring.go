@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scaling"
+)
+
+// replica is the gateway's view of one bandwall serve process: its base
+// URL plus the health state the router consults.
+type replica struct {
+	base string // "http://host:port", no trailing slash
+
+	br  *breaker
+	lat *latencyTracker
+
+	// healthy mirrors the last active health-check outcome. It is
+	// informational (/healthz introspection); routing decisions go through
+	// the breaker only, so the background checker cannot race a request's
+	// failover walk into a different replica order.
+	healthy atomic.Bool
+	// hits counts proxy attempts sent to this replica (tests pin it to
+	// prove domain errors never reach the ring).
+	hits atomic.Uint64
+}
+
+func newReplica(base string, threshold int, cooldown time.Duration) *replica {
+	rep := &replica{
+		base: base,
+		br:   newBreaker(threshold, cooldown),
+		lat:  newLatencyTracker(latencyWindow),
+	}
+	rep.healthy.Store(true) // optimistic until the first check says otherwise
+	return rep
+}
+
+// order returns the replicas in rendezvous (highest-random-weight)
+// preference order for key: each replica scores
+// HashString(base + "|" + key) and higher scores are preferred. The
+// head of the slice owns the key — every gateway process computes the
+// same owner for the same addresses, with no coordination state — and
+// the tail is the deterministic failover sequence, so a dead owner's
+// keys spill to the *next* scored replica rather than rehashing the
+// whole ring (only 1/n of keys move when a replica joins or leaves).
+func rendezvousOrder(reps []*replica, key string) []*replica {
+	out := make([]*replica, len(reps))
+	copy(out, reps)
+	score := func(r *replica) uint64 { return scaling.HashString(r.base + "|" + key) }
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].base < out[j].base // total order even on hash ties
+	})
+	return out
+}

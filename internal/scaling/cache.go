@@ -49,13 +49,37 @@ func FingerprintOf(st technique.Stack) Fingerprint {
 	return Fingerprint{Params: st.Params()}
 }
 
+// FNV-1a parameters shared by every fingerprint-keyed shard layout in
+// the repo: the solver cache below, the serve tier's response LRU, and
+// the fleet gateway's replica ring all key off the same function, so
+// "which shard/replica owns this fingerprint" has one answer at every
+// level of the system.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashString is FNV-1a over s with the high bits folded down — the
+// string-keyed twin of Fingerprint.hash. It is the routing function for
+// anything keyed by a canonical spec fingerprint: deterministic across
+// processes, so a replica ring and a lock-shard array computed from the
+// same fingerprint agree forever.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h ^ h>>32
+}
+
 // hash folds the fingerprint's resolved parameters through FNV-1a over
 // their bit patterns. Deterministic across processes (the shard layout is
 // reproducible) and cheap enough to vanish next to a map probe.
 func (fp Fingerprint) hash() uint64 {
 	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
+		offset = fnvOffset
+		prime  = fnvPrime
 	)
 	p := fp.Params
 	h := uint64(offset)

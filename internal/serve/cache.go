@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+
+	"repro/internal/scaling"
 )
 
 // respCache is a bounded LRU of rendered responses keyed by spec
@@ -94,19 +96,11 @@ func newRespCacheShards(size, nshards int) *respCache {
 	return c
 }
 
-// shard picks the segment for one key: low bits of an FNV-1a hash over
-// the fingerprint string.
+// shard picks the segment for one key: low bits of the FNV-1a hash over
+// the fingerprint string — the same function the fleet gateway uses to
+// pick the replica, one level down.
 func (c *respCache) shard(key string) *respShard {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime
-	}
-	return &c.shards[(h^h>>32)&c.mask]
+	return &c.shards[scaling.HashString(key)&c.mask]
 }
 
 // Get returns the cached body for key, if any.

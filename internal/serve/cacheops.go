@@ -23,6 +23,16 @@ type CachePurgeResponse struct {
 	SolverEntriesPurged   int `json:"solver_entries_purged"`
 }
 
+// CacheInfo returns both cache layers' introspection — the same view
+// GET /v1/cache serves. Exported so fleet partition tests (and
+// embedders) can assert keyspace placement without going through HTTP.
+func (s *Server) CacheInfo(topN int) CacheInfoResponse {
+	return CacheInfoResponse{
+		ResponseCache: s.cache.Info(topN),
+		SolverCache:   s.engine.Cache.Info(topN),
+	}
+}
+
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	topN := 10
 	if v := r.URL.Query().Get("top"); v != "" {
@@ -34,10 +44,7 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 		}
 		topN = n
 	}
-	writeJSON(w, http.StatusOK, CacheInfoResponse{
-		ResponseCache: s.cache.Info(topN),
-		SolverCache:   s.engine.Cache.Info(topN),
-	})
+	writeJSON(w, http.StatusOK, s.CacheInfo(topN))
 }
 
 // handleCacheDelete empties both cache layers (fleet ops: after a model

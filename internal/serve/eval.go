@@ -78,7 +78,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 
 	fpSpan := obs.StartTraceSpanLeaf(ctx, StageFingerprint)
-	key, err := fingerprintSpec(sp)
+	key, err := FingerprintSpec(sp)
 	fpSpan.End()
 	if err != nil {
 		writeModelError(w, r, err)
@@ -102,6 +102,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	// failing work.
 	sfctx, sfSpan := obs.StartTraceSpan(ctx, StageSingleflight)
 	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		// Chaos hook: a seeded BANDWALL_FAULTS plan can make this replica
+		// error, hang (sleep), or panic here. Panics are contained by the
+		// singleflight group's robust.Safe wrapper into a 500 "panic" body —
+		// the failure mode the fleet gateway's failover must absorb.
+		if err := robust.Hit(sfctx, "serve.eval"); err != nil {
+			return nil, robust.WithTraceID(err, tr.ID())
+		}
 		if s.evalGate != nil {
 			s.evalGate(sfctx, sp)
 		}
@@ -149,13 +156,15 @@ func writeCached(ctx context.Context, w http.ResponseWriter, body []byte, dispos
 	_, _ = w.Write(body)
 }
 
-// fingerprintSpec derives the response-cache and singleflight key: the
+// FingerprintSpec derives the response-cache and singleflight key: the
 // SHA-256 of the parsed spec's canonical JSON. Marshaling the *parsed*
 // struct (not the request bytes) normalizes field order, whitespace,
 // and numeric spellings, so two textually different bodies describing
 // the same query collapse onto one key — the request-level analogue of
-// the PR-4 solver-cache fingerprint.
-func fingerprintSpec(sp *scenario.Spec) (string, error) {
+// the PR-4 solver-cache fingerprint. Exported because the fleet gateway
+// routes on exactly this key: the fingerprint that names a response in
+// a replica's cache is the fingerprint that picks the replica.
+func FingerprintSpec(sp *scenario.Spec) (string, error) {
 	canon, err := json.Marshal(sp)
 	if err != nil {
 		return "", fmt.Errorf("canonicalizing spec: %w", err)

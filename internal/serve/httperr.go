@@ -20,6 +20,10 @@ const (
 	kindPanic      = "panic"       // contained panic inside a solve → 500
 	kindSaturated  = "saturated"   // admission semaphore full → 429
 	kindInternal   = "internal"    // anything else → 500
+	// kindUnavailable marks a replica refusing work without being broken:
+	// injected admission faults here, total-ring failure at the gateway.
+	// Always paired with Retry-After → 503.
+	kindUnavailable = "unavailable"
 )
 
 // httpError is the JSON error body shape. Trace names the trace whose

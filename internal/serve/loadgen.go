@@ -3,10 +3,12 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +34,14 @@ type LoadgenConfig struct {
 	// timing starts, so connection setup and first-solve costs don't
 	// pollute the latency tail. ≤0 means Conns requests.
 	WarmupRequests int
+	// Chaos enables chaos-test mode: the POSTed spec is expanded into
+	// ChaosVariants bodies with distinct ids (and therefore distinct
+	// fingerprints), which the workers rotate through — so a fleet
+	// gateway spreads the load across its whole replica ring instead of
+	// hammering one fingerprint's owner. Requires a Body.
+	Chaos bool
+	// ChaosVariants is the chaos-mode spec pool size; ≤0 means 8.
+	ChaosVariants int
 }
 
 // LoadgenResult summarizes one run.
@@ -39,7 +49,11 @@ type LoadgenResult struct {
 	Requests uint64         `json:"requests"`
 	Errors   uint64         `json:"errors"` // transport errors + non-2xx responses
 	Statuses map[int]uint64 `json:"statuses"`
-	Elapsed  time.Duration  `json:"-"`
+	// Classes splits Errors by failure class — connect (transport), 429,
+	// 503, 504, 5xx (other), 4xx (other) — so a chaos run can tell shed
+	// load (429/503, the server protecting itself) from real failures.
+	Classes map[string]uint64 `json:"error_classes,omitempty"`
+	Elapsed time.Duration     `json:"-"`
 
 	ElapsedSeconds float64 `json:"elapsed_s"`
 	Throughput     float64 `json:"throughput_rps"`
@@ -57,6 +71,46 @@ type LoadgenResult struct {
 	// run), keyed by stage name. Absent when the target doesn't expose
 	// the bandwall /metrics NDJSON.
 	Stages map[string]StageStats `json:"stages,omitempty"`
+}
+
+// Error-class keys in LoadgenResult.Classes.
+const (
+	ClassConnect = "connect" // transport-level failure (dial, reset, EOF)
+	Class429     = "429"     // admission shed (Retry-After honored)
+	Class503     = "503"     // unavailable/draining (Retry-After honored)
+	Class504     = "504"     // deadline exhausted
+	Class5xx     = "5xx"     // other server errors
+	Class4xx     = "4xx"     // other client errors
+)
+
+// classifyStatus maps a non-2xx response onto its error-class key.
+func classifyStatus(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return Class429
+	case code == http.StatusServiceUnavailable:
+		return Class503
+	case code == http.StatusGatewayTimeout:
+		return Class504
+	case code >= 500:
+		return Class5xx
+	default:
+		return Class4xx
+	}
+}
+
+// Shed returns the shed-load error count: 429/503 responses, where the
+// server (or gateway) deliberately refused work and named a Retry-After.
+func (r LoadgenResult) Shed() uint64 {
+	return r.Classes[Class429] + r.Classes[Class503]
+}
+
+// Visible returns the client-visible failure count: every error that is
+// not shed load — connect failures, 5xx, 504, stray 4xx. This is the
+// number a chaos run pins to zero: failover and retries must absorb a
+// dying replica completely.
+func (r LoadgenResult) Visible() uint64 {
+	return r.Errors - r.Shed()
 }
 
 // HDRBucket is one latency-distribution bucket; LEms nil means +Inf.
@@ -78,6 +132,12 @@ type StageStats struct {
 func (r LoadgenResult) String() string {
 	var sb bytes.Buffer
 	fmt.Fprintf(&sb, "requests      : %d (%d errors)\n", r.Requests, r.Errors)
+	if r.Errors > 0 {
+		fmt.Fprintf(&sb, "error classes : connect=%d 429=%d 503=%d 504=%d 5xx=%d 4xx=%d (visible %d, shed %d)\n",
+			r.Classes[ClassConnect], r.Classes[Class429], r.Classes[Class503],
+			r.Classes[Class504], r.Classes[Class5xx], r.Classes[Class4xx],
+			r.Visible(), r.Shed())
+	}
 	fmt.Fprintf(&sb, "elapsed       : %.2fs\n", r.ElapsedSeconds)
 	fmt.Fprintf(&sb, "throughput    : %.0f req/s\n", r.Throughput)
 	fmt.Fprintf(&sb, "latency p50   : %.3f ms\n", r.P50ms)
@@ -137,27 +197,48 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
 	defer transport.CloseIdleConnections()
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 
-	issue := func() (int, error) {
+	// The request-body pool: one body (the configured spec), or in chaos
+	// mode a rotation of ChaosVariants distinct-fingerprint derivatives.
+	bodies := [][]byte{cfg.Body}
+	if cfg.Chaos {
+		if len(cfg.Body) == 0 {
+			return LoadgenResult{}, fmt.Errorf("loadgen: -chaos needs a -spec body to derive variants from")
+		}
+		var err error
+		if bodies, err = chaosVariants(cfg.Body, cfg.ChaosVariants); err != nil {
+			return LoadgenResult{}, err
+		}
+	}
+
+	// issue fires one request and reports the status plus any Retry-After
+	// hint the server attached (0 when absent or unparseable).
+	issue := func(body []byte) (int, time.Duration, error) {
 		var req *http.Request
 		var err error
-		if len(cfg.Body) == 0 {
+		if len(body) == 0 {
 			req, err = http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 		} else {
-			req, err = http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(cfg.Body))
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
 			if err == nil {
 				req.Header.Set("Content-Type", "application/json")
 			}
 		}
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		resp, err := client.Do(req)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		return resp.StatusCode, nil
+		var retryAfter time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode, retryAfter, nil
 	}
 
 	// Warmup: establish connections and populate the server's caches so
@@ -167,7 +248,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
 		warm = conns
 	}
 	for i := 0; i < warm; i++ {
-		if _, err := issue(); err != nil {
+		if _, _, err := issue(bodies[i%len(bodies)]); err != nil {
 			return LoadgenResult{}, fmt.Errorf("loadgen warmup: %w", err)
 		}
 	}
@@ -181,48 +262,74 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (LoadgenResult, error) {
 	type workerStats struct {
 		latencies []time.Duration
 		statuses  map[int]uint64
+		classes   map[string]uint64
 		errors    uint64
 	}
 	stats := make([]workerStats, conns)
 	runCtx, cancel := context.WithTimeout(ctx, dur)
 	defer cancel()
 
+	// backoffFor caps a server's Retry-After hint so a closed-loop worker
+	// never sleeps past the measurement window's useful resolution.
+	const maxRetryAfter = 2 * time.Second
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(conns)
 	for w := 0; w < conns; w++ {
-		go func(ws *workerStats) {
+		go func(w int, ws *workerStats) {
 			defer wg.Done()
 			ws.statuses = make(map[int]uint64)
-			for runCtx.Err() == nil {
+			ws.classes = make(map[string]uint64)
+			for iter := 0; runCtx.Err() == nil; iter++ {
 				t0 := time.Now()
-				code, err := issue()
+				code, retryAfter, err := issue(bodies[(w+iter)%len(bodies)])
 				lat := time.Since(t0)
 				if runCtx.Err() != nil && (err != nil || code == 0) {
 					return // the deadline canceled this request mid-flight
 				}
 				if err != nil {
 					ws.errors++
+					ws.classes[ClassConnect]++
 					continue
 				}
 				ws.statuses[code]++
 				if code < 200 || code > 299 {
 					ws.errors++
+					ws.classes[classifyStatus(code)]++
 				}
 				ws.latencies = append(ws.latencies, lat)
 				hist.Observe(float64(lat.Microseconds()))
+				// Honor Retry-After on shed responses instead of hammering a
+				// saturated or draining server: the shed numbers then measure
+				// admission policy, not one client's retry storm.
+				if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) && retryAfter > 0 {
+					if retryAfter > maxRetryAfter {
+						retryAfter = maxRetryAfter
+					}
+					t := time.NewTimer(retryAfter)
+					select {
+					case <-runCtx.Done():
+						t.Stop()
+						return
+					case <-t.C:
+					}
+				}
 			}
-		}(&stats[w])
+		}(w, &stats[w])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	res := LoadgenResult{Statuses: make(map[int]uint64), Elapsed: elapsed}
+	res := LoadgenResult{Statuses: make(map[int]uint64), Classes: make(map[string]uint64), Elapsed: elapsed}
 	var all []time.Duration
 	for _, ws := range stats {
 		res.Errors += ws.errors
 		for code, n := range ws.statuses {
 			res.Statuses[code] += n
+		}
+		for class, n := range ws.classes {
+			res.Classes[class] += n
 		}
 		all = append(all, ws.latencies...)
 	}
@@ -295,6 +402,35 @@ func stageBreakdown(before, after MetricsSnapshot, route string) map[string]Stag
 		}
 	}
 	return out
+}
+
+// chaosVariants derives n spec bodies with distinct ids — and therefore
+// distinct canonical fingerprints — from one base spec, so a chaos run
+// exercises every replica in a fingerprint-routed fleet. The id rewrite
+// is deterministic ("ID-chaos0" … "ID-chaosN"): two chaos runs generate
+// the same pool and therefore the same ring spread.
+func chaosVariants(base []byte, n int) ([][]byte, error) {
+	if n <= 0 {
+		n = 8
+	}
+	var m map[string]any
+	if err := json.Unmarshal(base, &m); err != nil {
+		return nil, fmt.Errorf("loadgen: chaos spec is not a JSON object: %w", err)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		id = "chaos"
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		m["id"] = fmt.Sprintf("%s-chaos%d", id, i)
+		b, err := json.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: rebuilding chaos variant: %w", err)
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 // percentile returns the p-quantile of sorted samples (nearest-rank).

@@ -2,9 +2,16 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 // TestLoadgenEndToEnd drives a real in-process server with the
@@ -50,6 +57,108 @@ func TestLoadgenCanceledContext(t *testing.T) {
 	cancel()
 	if _, err := Loadgen(ctx, LoadgenConfig{URL: ts.URL, Body: []byte(stackedSpec), Conns: 1, Duration: time.Second}); err == nil {
 		t.Error("Loadgen with canceled context returned nil error")
+	}
+}
+
+// TestChaosVariantsDeterministicAndDistinct proves the chaos spec pool
+// contract: two expansions of the same base yield byte-identical pools
+// (so two chaos runs spread identically across a fleet ring), and every
+// variant parses to a distinct id and canonical fingerprint.
+func TestChaosVariantsDeterministicAndDistinct(t *testing.T) {
+	a, err := chaosVariants([]byte(stackedSpec), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosVariants([]byte(stackedSpec), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 {
+		t.Fatalf("pool size = %d, want 6", len(a))
+	}
+	fps := make(map[string]bool)
+	ids := make(map[string]bool)
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Errorf("variant %d differs between runs:\n%s\n%s", i, a[i], b[i])
+		}
+		sp, err := scenario.ParseSpec(a[i])
+		if err != nil {
+			t.Fatalf("variant %d does not parse: %v\n%s", i, err, a[i])
+		}
+		if want := fmt.Sprintf("stacked-chaos%d", i); sp.ID != want {
+			t.Errorf("variant %d id = %q, want %q", i, sp.ID, want)
+		}
+		fp, err := FingerprintSpec(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[sp.ID] || fps[fp] {
+			t.Errorf("variant %d repeats id/fingerprint (%s, %s)", i, sp.ID, fp)
+		}
+		ids[sp.ID] = true
+		fps[fp] = true
+	}
+	if _, err := chaosVariants([]byte("not json"), 2); err == nil {
+		t.Error("chaosVariants accepted a non-JSON base")
+	}
+}
+
+// TestLoadgenErrorClasses drives a server that interleaves shed (429)
+// and hard (500) failures, then checks the class split and the
+// shed-vs-visible arithmetic a chaos run's pass/fail gate relies on.
+func TestLoadgenErrorClasses(t *testing.T) {
+	var n atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		switch n.Add(1) % 4 {
+		case 0:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 1:
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	res, err := Loadgen(context.Background(), LoadgenConfig{
+		URL:            ts.URL,
+		Body:           []byte(stackedSpec),
+		Conns:          2,
+		Duration:       200 * time.Millisecond,
+		WarmupRequests: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Classes[Class429] != res.Statuses[429] || res.Classes[Class5xx] != res.Statuses[500] {
+		t.Errorf("classes %v do not match statuses %v", res.Classes, res.Statuses)
+	}
+	if got := res.Shed(); got != res.Classes[Class429]+res.Classes[Class503] {
+		t.Errorf("Shed() = %d, want %d", got, res.Classes[Class429]+res.Classes[Class503])
+	}
+	if got := res.Visible(); got != res.Errors-res.Shed() {
+		t.Errorf("Visible() = %d, want %d", got, res.Errors-res.Shed())
+	}
+	if res.Errors > 0 && !strings.Contains(res.String(), "error classes") {
+		t.Errorf("String() missing error-class line:\n%s", res.String())
+	}
+}
+
+func TestClassifyStatus(t *testing.T) {
+	cases := map[int]string{
+		429: Class429, 503: Class503, 504: Class504,
+		500: Class5xx, 502: Class5xx, 400: Class4xx, 404: Class4xx,
+	}
+	for code, want := range cases {
+		if got := classifyStatus(code); got != want {
+			t.Errorf("classifyStatus(%d) = %q, want %q", code, got, want)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strings"
@@ -28,7 +29,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format {
 	case "", "text":
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetricsText(w, reg)
+		WriteMetricsText(w, reg)
 	case "ndjson":
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = reg.WriteNDJSON(w)
@@ -38,10 +39,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeMetricsText renders counters, gauges, and histograms in the
+// WriteMetricsText renders counters, gauges, and histograms in the
 // Prometheus text exposition shape. Spans are omitted (they are
-// per-run, unbounded series; the NDJSON format carries them).
-func writeMetricsText(w http.ResponseWriter, reg *obs.Registry) {
+// per-run, unbounded series; the NDJSON format carries them). Exported
+// so the fleet gateway's /metrics endpoint shares one exposition
+// format with the replicas it fronts.
+func WriteMetricsText(w io.Writer, reg *obs.Registry) {
 	snap := reg.Snapshot()
 	for _, c := range snap.Counters {
 		fmt.Fprintf(w, "%s %d\n", promName(c.Name), c.Value)

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/robust"
 	"repro/internal/scenario"
 )
 
@@ -154,6 +155,11 @@ type Server struct {
 	mux       *http.ServeMux
 
 	inflight atomic.Int64
+	// draining flips the instant graceful shutdown begins, before the
+	// listener closes: /healthz answers 503 "draining" while in-flight
+	// requests finish, so a fleet gateway stops routing here ahead of
+	// connection refusals.
+	draining atomic.Bool
 
 	// Instruments (nil-safe no-ops when obs is disabled).
 	mReqs       *obs.Counter
@@ -259,7 +265,7 @@ func NewServer(cfg Config) *Server {
 	// Pre-resolve every route × stage histogram the tracer will feed, so
 	// recordStages is map reads on an immutable map, not registry lookups.
 	s.stageH = make(map[string]map[string]*obs.Histogram)
-	for _, route := range []string{"eval", "run", "metrics", "catalog", "experiments", "trace", "cache"} {
+	for _, route := range []string{"eval", "run", "metrics", "catalog", "experiments", "trace", "cache", "validate"} {
 		m := make(map[string]*obs.Histogram, 8)
 		for _, stage := range []string{
 			StageTotal, StageAdmit, StageParse, StageFingerprint,
@@ -277,6 +283,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.instrument("run", s.admit(s.handleExperimentRun)))
 	s.mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.admit(s.handleEval)))
+	s.mux.HandleFunc("POST /v1/validate", s.instrument("validate", s.handleValidate))
 	s.mux.HandleFunc("GET /v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /v1/cache", s.instrument("cache", s.handleCacheGet))
 	s.mux.HandleFunc("DELETE /v1/cache", s.instrument("cache", s.handleCacheDelete))
@@ -379,6 +386,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // listener.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Chaos hook: a BANDWALL_FAULTS plan can fail admission here.
+		// Domain faults map to 400, contained panics to 500; anything else
+		// sheds like saturation (503 + Retry-After), the deterministic way
+		// to make one replica refuse work without killing it.
+		if err := robust.Safe(func() error { return robust.Hit(r.Context(), "serve.admit") }); err != nil {
+			status, kind := classify(err)
+			if status == http.StatusInternalServerError && kind == kindInternal {
+				status, kind = http.StatusServiceUnavailable, kindUnavailable
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, r, status, kind, err)
+			return
+		}
 		admitSpan := obs.StartTraceSpanLeaf(r.Context(), StageAdmit)
 		select {
 		case s.sem <- struct{}{}:
@@ -416,8 +436,17 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
+
+// Draining reports whether graceful shutdown has begun (readiness has
+// flipped but in-flight requests may still be finishing).
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // SampleRuntime reads the Go runtime's health signals into the obs
 // gauges behind /metrics: goroutine count, live heap, cumulative and
@@ -494,6 +523,10 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Readiness flips before the listener closes: a gateway polling
+	// /healthz sees "draining" (503) and stops routing here while the
+	// requests already in flight still complete below.
+	s.draining.Store(true)
 	// Graceful drain: stop accepting, let in-flight requests finish.
 	// Request contexts are NOT canceled by Shutdown, so running solves
 	// complete (their own deadlines still bound them).

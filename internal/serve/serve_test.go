@@ -261,7 +261,7 @@ func TestEvalSingleflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key, err := fingerprintSpec(sp)
+	key, err := FingerprintSpec(sp)
 	if err != nil {
 		t.Fatal(err)
 	}

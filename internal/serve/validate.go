@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/scenario"
+)
+
+// ValidateResponse is the POST /v1/validate success body: the spec
+// parsed and validated without a single solver call. Fingerprint is the
+// same canonical key /v1/eval caches (and the fleet gateway routes) on,
+// so an editor can show which replica/cache entry a spec will land in
+// before ever evaluating it.
+type ValidateResponse struct {
+	Valid       bool   `json:"valid"`
+	ID          string `json:"id"`
+	Title       string `json:"title,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Cases       int    `json:"cases"`
+}
+
+// handleValidate parses and validates a scenario.Spec JSON body —
+// catalog names, envelope, axis, the full strict-parse path — without
+// evaluating anything. Invalid specs get the robust taxonomy error body
+// (ErrDomain → 400 "domain"), exactly what /v1/eval would have said,
+// which makes this the cheap per-keystroke check: no admission slot, no
+// deadline, no solver work.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, kindBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, r, http.StatusBadRequest, kindBadRequest,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	sp, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeModelError(w, r, err)
+		return
+	}
+	key, err := FingerprintSpec(sp)
+	if err != nil {
+		writeModelError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ValidateResponse{
+		Valid:       true,
+		ID:          sp.ID,
+		Title:       sp.Title,
+		Fingerprint: key,
+		Cases:       len(sp.Cases),
+	})
+}
