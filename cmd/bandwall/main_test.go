@@ -223,7 +223,7 @@ func TestSelftest(t *testing.T) {
 	if err != nil {
 		t.Fatalf("selftest failed:\n%s\n%v", out, err)
 	}
-	if !strings.Contains(out, "all 25 checks pass") {
+	if !strings.Contains(out, "all 28 checks pass") {
 		t.Errorf("selftest output:\n%s", out)
 	}
 	if strings.Contains(out, "FAIL") {
@@ -236,11 +236,13 @@ var exampleSpecs = []string{
 	"../../examples/scenarios/stacked-compression.json",
 	"../../examples/scenarios/custom-envelope.json",
 	"../../examples/scenarios/generation-sweep.json",
+	"../../examples/scenarios/multiwall-sweep.json",
 }
 
-// TestEvalExamples covers the acceptance criterion: the three shipped
-// example specs evaluate cleanly in one batch and reproduce the paper's
-// core counts (stacked CC 2x + LC 2x on 32 CEAs is Fig 12's 18 cores).
+// TestEvalExamples covers the acceptance criterion: the shipped example
+// specs evaluate cleanly in one batch and reproduce the paper's core
+// counts (stacked CC 2x + LC 2x on 32 CEAs is Fig 12's 18 cores) plus the
+// multi-wall flip scenario's pinned values.
 func TestEvalExamples(t *testing.T) {
 	out, err := runCapture(t, append([]string{"eval", "-json"}, exampleSpecs...)...)
 	if err != nil {
@@ -253,8 +255,8 @@ func TestEvalExamples(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &results); err != nil {
 		t.Fatalf("eval -json output: %v\n%s", err, out)
 	}
-	if len(results) != 3 {
-		t.Fatalf("eval returned %d results, want 3:\n%s", len(results), out)
+	if len(results) != 4 {
+		t.Fatalf("eval returned %d results, want 4:\n%s", len(results), out)
 	}
 	values := map[string]map[string]float64{}
 	for _, r := range results {
@@ -271,6 +273,9 @@ func TestEvalExamples(t *testing.T) {
 		{"generation-sweep", "BASE@16x", 24},
 		{"generation-sweep", "DRAM@16x", 47},
 		{"generation-sweep", "combined@16x", 183},
+		{"multiwall-sweep", "dram3d@4x", 36},
+		{"multiwall-sweep", "dram3d@8x", 44},
+		{"multiwall-sweep", "ccdram3d@16x", 43},
 	} {
 		if got := values[tc.id][tc.key]; got != tc.want {
 			t.Errorf("%s %s = %g, want %g", tc.id, tc.key, got, tc.want)
@@ -355,7 +360,7 @@ func TestSelftestSpecFiles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("selftest with specs failed:\n%s\n%v", out, err)
 	}
-	if !strings.Contains(out, "all 28 checks pass") {
+	if !strings.Contains(out, "all 32 checks pass") {
 		t.Errorf("selftest spec output:\n%s", out)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")

@@ -69,6 +69,57 @@ var scenarioChecks = []struct {
 		  "stack":[{"name":"DRAM","params":{"density":8}}],"value_key":"cores"}]}`,
 		"cores@16x", 47,
 	},
+	{
+		"Scenario: thermal wall @16x",
+		`{"id":"thermal","axis":{"generations":4},
+		  "envelopes":[{"kind":"thermal","limit":3.4,"growth":1.4}],
+		  "cases":[{"label":"DRAM + 3D","stack":[{"name":"DRAM","params":{"density":8}},
+		  {"name":"3D","params":{"density":1}}],"value_key":"cores"}]}`,
+		"cores@16x", 43,
+	},
+	{
+		// An energy wall at limit 1.2 with the default 0.6 access share
+		// reduces to an effective traffic budget of 1.5 — it must land on
+		// Fig 2's 1.5x-envelope answer.
+		"Scenario: energy wall, 1.2x limit",
+		`{"id":"energy","axis":{"n2":[32]},
+		  "envelopes":[{"kind":"energy","limit":1.2}],
+		  "cases":[{"label":"BASE","value_key":"cores"}]}`,
+		"cores", 13,
+	},
+}
+
+// flipCheck pins the multi-wall flagship: the examples/scenarios
+// multiwall-sweep spec, whose binding wall flips from bandwidth to thermal
+// between the 4x and 8x generations.
+const flipSpec = `{"id":"flip","axis":{"generations":4},
+  "envelopes":[{"kind":"bandwidth","limit":1},{"kind":"thermal","limit":3.4,"growth":1.4}],
+  "cases":[{"label":"DRAM + 3D","stack":[{"name":"DRAM","params":{"density":8}},
+  {"name":"3D","params":{"density":1}}]}]}`
+
+// checkFlip evaluates flipSpec and verifies both the solved cores and the
+// per-generation binding-wall attribution.
+func checkFlip(eng *scenario.Engine, out io.Writer) (failures int, err error) {
+	sp, err := scenario.ParseSpec([]byte(flipSpec))
+	if err != nil {
+		return 0, err
+	}
+	o, err := eng.Evaluate(context.Background(), sp)
+	if err != nil {
+		return 0, err
+	}
+	wantBind := []string{"bandwidth", "bandwidth", "thermal", "thermal"}
+	wantCores := []int{26, 36, 44, 43}
+	status := "ok"
+	for i, pt := range o.PointsFor(0) {
+		if pt.Binding != wantBind[i] || pt.Cores != wantCores[i] {
+			status = fmt.Sprintf("FAIL (gen %d: %d cores under %s)", i+1, pt.Cores, pt.Binding)
+			failures++
+			break
+		}
+	}
+	fmt.Fprintf(out, "%-36s bandwidth->thermal @8x ... %s\n", "Scenario: binding-wall flip", status)
+	return failures, nil
 }
 
 // cmdSelftest verifies the pinned numbers and reports pass/fail — a
@@ -124,6 +175,12 @@ func cmdSelftest(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%-36s want %3.0f cores ... %s\n", c.name, c.want, status)
 	}
+	// Multi-wall binding attribution.
+	flipFails, err := checkFlip(eng, out)
+	if err != nil {
+		return err
+	}
+	failures += flipFails
 	// User-supplied spec files: strict parse + validation only, so this
 	// stays a schema sanity check rather than an open-ended evaluation.
 	for _, path := range args {
@@ -142,7 +199,7 @@ func cmdSelftest(args []string, out io.Writer) error {
 	if failures > 0 {
 		return fmt.Errorf("selftest: %d checks failed", failures)
 	}
-	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4+len(scenarioChecks)+len(args))
+	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4+len(scenarioChecks)+1+len(args))
 	return nil
 }
 

@@ -543,23 +543,33 @@ func (g *Gateway) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 type CacheFanout struct {
 	Replicas map[string]json.RawMessage `json:"replicas"`
 	Errors   map[string]string          `json:"errors,omitempty"`
+	// StalePurged reports how many entries DELETE dropped from the
+	// gateway's own stale-response reserve (absent on GET).
+	StalePurged *int `json:"stale_purged,omitempty"`
 }
 
 // handleCacheGet fans the cache introspection out to every replica and
 // aggregates — the fleet-wide view that shows the keyspace partition.
 func (g *Gateway) handleCacheGet(w http.ResponseWriter, r *http.Request) {
-	g.fanout(w, r, http.MethodGet, r.URL.RawQuery)
+	g.fanout(w, r, http.MethodGet, r.URL.RawQuery, nil)
 }
 
-// handleCacheDelete purges every replica's caches.
+// handleCacheDelete purges every replica's caches — and the gateway's own
+// stale-response reserve in the same operation. The reserve holds
+// last-known-good bodies for degraded serving; leaving it populated after
+// an operator-requested invalidation would let a post-purge total-ring
+// failure serve exactly the results the operator just invalidated.
 func (g *Gateway) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
-	g.fanout(w, r, http.MethodDelete, "")
+	purged := g.stale.Purge()
+	g.fanout(w, r, http.MethodDelete, "", &purged)
 }
 
-func (g *Gateway) fanout(w http.ResponseWriter, r *http.Request, method, query string) {
+// handleCacheGet and handleCacheDelete share fanout; stalePurged is nil
+// on GET.
+func (g *Gateway) fanout(w http.ResponseWriter, r *http.Request, method, query string, stalePurged *int) {
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.healthTimeout()*4)
 	defer cancel()
-	out := CacheFanout{Replicas: make(map[string]json.RawMessage, len(g.replicas))}
+	out := CacheFanout{Replicas: make(map[string]json.RawMessage, len(g.replicas)), StalePurged: stalePurged}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, rep := range g.replicas {

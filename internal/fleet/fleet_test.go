@@ -583,3 +583,49 @@ func TestGatewayDrainFlipsReadiness(t *testing.T) {
 		t.Error("Draining() = false after shutdown")
 	}
 }
+
+// TestCacheDeletePurgesStaleReserve pins the invalidation contract: the
+// DELETE /v1/cache fan-out must drop the gateway's own stale-response
+// reserve along with the replicas' caches. Before the fix, a total-ring
+// failure right after an operator purge served the just-invalidated
+// bodies from the reserve.
+func TestCacheDeletePurgesStaleReserve(t *testing.T) {
+	g, stubs := newTestGateway(t, 2, nil)
+	body := specWithID("purge-stale", 16)
+
+	// Warm the stale reserve with a healthy answer.
+	if w := postGateway(t, g, "/v1/eval", body); w.Code != http.StatusOK {
+		t.Fatalf("warmup status %d", w.Code)
+	}
+	if g.StaleLen() != 1 {
+		t.Fatalf("stale reserve = %d entries, want 1", g.StaleLen())
+	}
+
+	// Operator invalidation: the fan-out must purge the reserve too and
+	// report how much it dropped.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/cache", nil)
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("purge status %d: %s", w.Code, w.Body)
+	}
+	if g.StaleLen() != 0 {
+		t.Fatalf("stale reserve = %d entries after DELETE /v1/cache, want 0", g.StaleLen())
+	}
+	var fan CacheFanout
+	if err := json.Unmarshal(w.Body.Bytes(), &fan); err != nil {
+		t.Fatalf("decoding fan-out body: %v", err)
+	}
+	if fan.StalePurged == nil || *fan.StalePurged != 1 {
+		t.Errorf("stale_purged = %v, want 1", fan.StalePurged)
+	}
+
+	// Total ring failure after the purge: the invalidated body must NOT
+	// come back; a reserve miss degrades to 503.
+	for _, s := range stubs {
+		s.ts.Close()
+	}
+	if w := postGateway(t, g, "/v1/eval", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-purge degraded status %d, want 503 (stale reserve must not serve invalidated results): %s", w.Code, w.Body)
+	}
+}

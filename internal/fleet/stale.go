@@ -72,6 +72,22 @@ func (c *staleCache) Get(key string) (*staleEntry, bool) {
 	return el.Value.(*staleEntry), true
 }
 
+// Purge drops every cached response and returns how many were held. An
+// operator invalidating the fleet's caches must not leave last-known-good
+// bodies behind: a post-purge total-ring failure would serve results the
+// operator just declared invalid.
+func (c *staleCache) Purge() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.max)
+	return n
+}
+
 // Len returns the number of cached responses.
 func (c *staleCache) Len() int {
 	if c == nil {

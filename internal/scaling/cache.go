@@ -99,6 +99,10 @@ func (fp Fingerprint) hash() uint64 {
 	mix(math.Float64bits(p.CoreArea))
 	mix(math.Float64bits(p.SharedFrac))
 	mix(math.Float64bits(p.PrivateSharedFrac))
+	mix(math.Float64bits(p.ThermalResist))
+	mix(math.Float64bits(p.CachePowerMult))
+	mix(math.Float64bits(p.CacheEnergyMult))
+	mix(math.Float64bits(p.LinkEnergyMult))
 	// Fold the high bits down so "low bits of the hash" sees the whole
 	// word even with a small shard count.
 	return h ^ h>>32
@@ -129,6 +133,27 @@ type evalShard struct {
 	_  [64 - unsafe.Sizeof(sync.RWMutex{})%64]byte
 }
 
+// solKey is one memoized constraint solution: the wall-level cacheKey
+// minus the budget (each wall resolves its own), plus the fingerprint of
+// the full constraint set and the generation index (compounding and
+// growth factors make solutions generation-dependent).
+type solKey struct {
+	fp    Fingerprint
+	baseP float64
+	baseC float64
+	alpha float64
+	n2    float64
+	cons  uint64
+	gen   int
+}
+
+// solShard is one lock + map segment of the constraint-solution memo.
+type solShard struct {
+	mu sync.RWMutex
+	m  map[solKey]Solution
+	_  [64 - unsafe.Sizeof(sync.RWMutex{})%64]byte
+}
+
 // DefaultEvalCacheShards is the shard count NewEvalCache uses: enough
 // that a few dozen engine workers rarely collide, small enough that
 // aggregation stays trivial.
@@ -140,6 +165,7 @@ const DefaultEvalCacheShards = 16
 // transient faults must not poison later retries.
 type EvalCache struct {
 	shards []evalShard
+	sols   []solShard
 	mask   uint64
 
 	hits   atomic.Uint64
@@ -169,12 +195,14 @@ func NewEvalCacheShards(n int) *EvalCache {
 	}
 	c := &EvalCache{
 		shards:    make([]evalShard, n),
+		sols:      make([]solShard, n),
 		mask:      uint64(n - 1),
 		obsHits:   obs.Default().Counter("scaling.cache.hits"),
 		obsMisses: obs.Default().Counter("scaling.cache.misses"),
 	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]*evalEntry)
+		c.sols[i].m = make(map[solKey]Solution)
 	}
 	return c
 }
@@ -239,6 +267,52 @@ func (c *EvalCache) SupportableCoresFP(ctx context.Context, s Solver, fp Fingerp
 	return v, nil
 }
 
+// SolveConstraintFP is Constraint.SolveFP memoized on (stack fingerprint,
+// baseline, α, chip, constraint fingerprint, generation). The memo sits
+// above the per-wall solver cache: a solution hit skips every wall, a miss
+// delegates to the walls (whose own traffic solves still share wall-level
+// entries — an energy wall and a bandwidth wall at the same effective
+// budget memoize once). Counters record exactly one event per call at the
+// outermost level that answered, so legacy single-wall evaluations keep
+// their historical hit/miss accounting. Errors are never cached.
+func (c *EvalCache) SolveConstraintFP(ctx context.Context, s Solver, fp Fingerprint, st technique.Stack, n2 float64, cons Constraint, gen int) (Solution, error) {
+	if c == nil {
+		return cons.SolveFP(ctx, nil, s, fp, st, n2, gen)
+	}
+	base := s.Base()
+	k := solKey{fp: fp, baseP: base.P, baseC: base.C, alpha: s.Alpha(), n2: n2, cons: cons.Fingerprint(), gen: gen}
+	sh := &c.sols[fp.hash()&c.mask]
+	sh.mu.RLock()
+	sol, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		return sol.copyWalls(), nil
+	}
+	sol, err := cons.SolveFP(ctx, c, s, fp, st, n2, gen)
+	if err != nil {
+		return Solution{}, err
+	}
+	sh.mu.Lock()
+	if prev, ok := sh.m[k]; ok {
+		sol = prev // concurrent solvers: keep the first answer (they agree)
+	} else {
+		sh.m[k] = sol
+	}
+	sh.mu.Unlock()
+	return sol.copyWalls(), nil
+}
+
+// copyWalls returns the solution with a private headroom slice, so cached
+// solutions cannot be mutated through a caller's copy.
+func (sol Solution) copyWalls() Solution {
+	cp := make([]WallHeadroom, len(sol.Walls))
+	copy(cp, sol.Walls)
+	sol.Walls = cp
+	return sol
+}
+
 // MaxCoresCtx is Solver.MaxCoresCtx through the cache: the exact solution
 // is memoized once and floored with the shared CoresFromExact rule, so a
 // cores query after an exact query costs no extra solve (and vice versa).
@@ -296,6 +370,11 @@ func (c *EvalCache) Purge() int {
 		n += len(sh.m)
 		sh.m = make(map[cacheKey]*evalEntry)
 		sh.mu.Unlock()
+		ss := &c.sols[i]
+		ss.mu.Lock()
+		n += len(ss.m)
+		ss.m = make(map[solKey]Solution)
+		ss.mu.Unlock()
 	}
 	return n
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -20,7 +19,9 @@ type Point struct {
 	Axis int // index into the expanded axis
 	Gen  scaling.Generation
 	// Alpha and Budget are the resolved solver inputs for this cell (after
-	// case overrides and envelope compounding).
+	// case overrides and envelope compounding). Budget is the bandwidth
+	// wall's limit at this cell; 0 when the constraint set has no
+	// bandwidth wall.
 	Alpha  float64
 	Budget float64
 	// Exact is Eq. 7's fractional solution; Cores its whole-core reading.
@@ -30,6 +31,11 @@ type Point struct {
 	// Proportional the ideal-scaling core count for reference.
 	AreaFraction float64
 	Proportional float64
+	// Binding names the wall that limits this cell ("bandwidth" for
+	// legacy single-envelope specs); Walls reports each wall's limit,
+	// usage, and headroom at the solved core count.
+	Binding string
+	Walls   []scaling.WallHeadroom
 }
 
 // Outcome is a fully evaluated scenario.
@@ -119,7 +125,7 @@ func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 		fp     scaling.Fingerprint // precomputed: fingerprinting per cell would dominate cache hits
 		solver scaling.Solver
 		alpha  float64
-		budget float64
+		cons   scaling.Constraint
 	}
 	envs := make([]caseEnv, len(sp.Cases))
 	for i, c := range sp.Cases {
@@ -135,11 +141,7 @@ func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		budget := c.Budget
-		if budget == 0 {
-			budget = sp.envelope()
-		}
-		envs[i] = caseEnv{stack: st, fp: scaling.FingerprintOf(st), solver: s, alpha: alpha, budget: budget}
+		envs[i] = caseEnv{stack: st, fp: scaling.FingerprintOf(st), solver: s, alpha: alpha, cons: sp.constraint(c.Budget)}
 	}
 
 	cache := e.Cache
@@ -162,9 +164,9 @@ func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 	// solveCell contains panics (fault injection reaches the solver through
 	// the scaling.solve hook) so a poisoned cell fails like any other error
 	// instead of escaping the worker goroutine and killing the process.
-	solveCell := func(env caseEnv, n2, budget float64) (exact float64, err error) {
+	solveCell := func(env caseEnv, n2 float64, gen int) (sol scaling.Solution, err error) {
 		defer robust.Recover(&err)
-		return cache.SupportableCoresFP(ctx, env.solver, env.fp, env.stack, n2, budget)
+		return cache.SolveConstraintFP(ctx, env.solver, env.fp, env.stack, n2, env.cons, gen)
 	}
 
 	// Cells are handed out in chunks (several cells per channel receive)
@@ -188,24 +190,28 @@ func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 				}
 				for i := start; i < end; i++ {
 					ci, ai := i/len(gens), i%len(gens)
-				env, g := envs[ci], gens[ai]
-				budget := env.budget
-				if sp.Budget.Compound {
-					budget = math.Pow(budget, float64(g.Index))
-				}
-					exact, err := solveCell(env, g.N, budget)
+					env, g := envs[ci], gens[ai]
+					sol, err := solveCell(env, g.N, g.Index)
 					if err != nil {
 						errs[i] = fmt.Errorf("scenario %s: case %q @ %s: %w", sp.ID, sp.Cases[ci].label(), g, err)
 						continue
 					}
 					evaluated.Inc()
+					budget := 0.0
+					for _, wh := range sol.Walls {
+						if wh.Kind == scaling.KindBandwidth {
+							budget = wh.Limit
+						}
+					}
 					points[i] = Point{
 						Case: ci, Axis: ai, Gen: g,
 						Alpha: env.alpha, Budget: budget,
-						Exact: exact, Cores: scaling.CoresFromExact(exact),
+						Exact: sol.Exact, Cores: scaling.CoresFromExact(sol.Exact),
 						// CoreAreaFraction from the precomputed Params.
-						AreaFraction: env.fp.Params.CoreArea * exact / g.N,
+						AreaFraction: env.fp.Params.CoreArea * sol.Exact / g.N,
 						Proportional: env.solver.ProportionalCores(g.N),
+						Binding:      sol.Binding,
+						Walls:        sol.Walls,
 					}
 				}
 			}

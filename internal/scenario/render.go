@@ -21,20 +21,35 @@ func (o *Outcome) Render() ([]*render.Table, []*render.Chart) {
 	return o.renderGenerations()
 }
 
+// multiWall reports whether the outcome was solved under more than one
+// wall — only then do reports grow binding-wall columns, so legacy
+// single-envelope output is byte-identical to the pre-constraint engine.
+func (o *Outcome) multiWall() bool {
+	return len(o.Spec.Envelopes) > 1
+}
+
 func (o *Outcome) renderSweep() ([]*render.Table, []*render.Chart) {
 	g := o.Gens[0]
 	title := fmt.Sprintf("Supportable cores on %g CEAs", g.N)
-	if o.Spec.envelope() == 1 && !o.Spec.Budget.Compound {
+	if len(o.Spec.Envelopes) == 0 && o.Spec.envelope() == 1 && !o.Spec.Budget.Compound {
 		title += ", constant traffic"
+	}
+	headers := []string{"configuration", "cores", "exact", "scenario"}
+	if o.multiWall() {
+		headers = []string{"configuration", "cores", "exact", "binding", "scenario"}
 	}
 	tb := &render.Table{
 		Title:   title,
-		Headers: []string{"configuration", "cores", "exact", "scenario"},
+		Headers: headers,
 	}
 	var xs, ys []float64
 	for ci, c := range o.Spec.Cases {
 		pt := o.PointsFor(ci)[0]
-		tb.AddRow(c.label(), pt.Cores, pt.Exact, c.Scenario)
+		if o.multiWall() {
+			tb.AddRow(c.label(), pt.Cores, pt.Exact, pt.Binding, c.Scenario)
+		} else {
+			tb.AddRow(c.label(), pt.Cores, pt.Exact, c.Scenario)
+		}
 		xs = append(xs, float64(ci))
 		ys = append(ys, float64(pt.Cores))
 	}
@@ -63,6 +78,21 @@ func (o *Outcome) renderGenerations() ([]*render.Table, []*render.Chart) {
 		tb.AddRow(row...)
 		series = append(series, render.Series{Name: c.label(), X: xs, Y: ys})
 	}
+	tables := []*render.Table{tb}
+	if o.multiWall() {
+		// A second table shows which wall binds at every cell — the
+		// generation where a row's entry flips (bandwidth → thermal) is
+		// the multi-wall sweep's headline result.
+		bt := &render.Table{Title: "Binding wall per generation", Headers: headers}
+		for ci, c := range o.Spec.Cases {
+			row := []any{c.label()}
+			for _, pt := range o.PointsFor(ci) {
+				row = append(row, pt.Binding)
+			}
+			bt.AddRow(row...)
+		}
+		tables = append(tables, bt)
+	}
 	var charts []*render.Chart
 	// Charts stay legible up to a handful of series; beyond that the table
 	// carries the data alone.
@@ -72,7 +102,7 @@ func (o *Outcome) renderGenerations() ([]*render.Table, []*render.Chart) {
 			Series: series,
 		})
 	}
-	return []*render.Table{tb}, charts
+	return tables, charts
 }
 
 func (o *Outcome) title() string {

@@ -39,8 +39,16 @@ type Spec struct {
 	Baseline *Baseline `json:"baseline,omitempty"`
 	// Alpha is the workload's power-law exponent; 0 means the paper's 0.5.
 	Alpha float64 `json:"alpha,omitempty"`
-	// Budget is the traffic envelope all cases inherit.
+	// Budget is the traffic envelope all cases inherit. It is the legacy
+	// single-bandwidth-wall alias: specs may instead set Envelopes, and a
+	// pure single-bandwidth Envelopes entry canonicalizes to this field
+	// (so either spelling produces one canonical fingerprint). Setting
+	// both is an error.
 	Budget Budget `json:"budget,omitempty"`
+	// Envelopes is the multi-wall constraint set: each entry is one wall
+	// (bandwidth, thermal, energy), all of which must hold. Order matters
+	// only for tie-breaking the reported binding wall.
+	Envelopes []Envelope `json:"envelopes,omitempty"`
 	// Axis selects the chip sizes to sweep. Exactly one axis kind must be set.
 	Axis Axis `json:"axis"`
 	// Cases are the stacks to evaluate at every axis point.
@@ -59,6 +67,48 @@ type Baseline struct {
 type Budget struct {
 	Envelope float64 `json:"envelope,omitempty"` // 0 means the constant envelope (1.0)
 	Compound bool    `json:"compound,omitempty"`
+}
+
+// Envelope is one wall of a multi-wall constraint set. Kind selects the
+// model; the remaining fields parameterize it and default to the wall's
+// canonical values when 0.
+type Envelope struct {
+	// Kind is "bandwidth", "thermal", or "energy" (case-insensitive;
+	// canonicalized to lower case).
+	Kind string `json:"kind"`
+	// Limit is the wall's ceiling relative to the baseline (traffic
+	// multiple, power-density multiple, or energy-per-work multiple).
+	// 0 means 1.
+	Limit float64 `json:"limit,omitempty"`
+	// Compound grows the limit as Limit^gen per generation index.
+	Compound bool `json:"compound,omitempty"`
+	// Growth multiplies thermal/energy usage per generation (the
+	// end-of-Dennard density growth that lets a thermal wall overtake
+	// the bandwidth wall mid-sweep). 0 means 1. Bandwidth walls reject
+	// it — express envelope growth via Compound instead.
+	Growth float64 `json:"growth,omitempty"`
+	// CachePower is the thermal wall's κ: per-CEA cache power relative
+	// to per-CEA core power. 0 means scaling.DefaultThermalCachePower.
+	CachePower float64 `json:"cache_power,omitempty"`
+	// AccessShare is the energy wall's w: the baseline energy share of
+	// cache accesses. 0 means scaling.DefaultEnergyAccessShare.
+	AccessShare float64 `json:"access_share,omitempty"`
+}
+
+// wall resolves one envelope entry into its scaling.Wall.
+func (e Envelope) wall() scaling.Wall {
+	limit := e.Limit
+	if limit == 0 {
+		limit = 1
+	}
+	switch canonicalKind(e.Kind) {
+	case scaling.KindThermal:
+		return scaling.ThermalWall{Limit: limit, Compound: e.Compound, Growth: e.Growth, CachePower: e.CachePower}
+	case scaling.KindEnergy:
+		return scaling.EnergyWall{Limit: limit, Compound: e.Compound, Growth: e.Growth, AccessShare: e.AccessShare}
+	default:
+		return scaling.BandwidthWall{Budget: limit, Compound: e.Compound}
+	}
 }
 
 // Axis is the sweep's x-axis. Exactly one field may be set:
@@ -118,7 +168,9 @@ func (sp *Spec) Validate() error {
 }
 
 // validateStructure is Validate without building the stacks — the engine
-// uses it so each stack is built exactly once per evaluation.
+// uses it so each stack is built exactly once per evaluation. Errors name
+// the offending JSON path relative to the spec root, e.g.
+// "fig02.envelopes[1]: unknown kind".
 func (sp *Spec) validateStructure() error {
 	if strings.TrimSpace(sp.ID) == "" {
 		return errf("spec needs an id")
@@ -126,47 +178,108 @@ func (sp *Spec) validateStructure() error {
 	axes := 0
 	if len(sp.Axis.N2) > 0 {
 		axes++
-		for _, n2 := range sp.Axis.N2 {
+		for i, n2 := range sp.Axis.N2 {
 			if !(n2 > 0) {
-				return errf("%s: axis n2 entries must be positive, got %g", sp.ID, n2)
+				return errf("%s.axis.n2[%d]: chip sizes must be positive, got %g", sp.ID, i, n2)
 			}
 		}
 	}
 	if len(sp.Axis.Ratios) > 0 {
 		axes++
-		for _, r := range sp.Axis.Ratios {
+		for i, r := range sp.Axis.Ratios {
 			if !(r > 0) {
-				return errf("%s: axis ratios must be positive, got %g", sp.ID, r)
+				return errf("%s.axis.ratios[%d]: scaling ratios must be positive, got %g", sp.ID, i, r)
 			}
 		}
 	}
 	if sp.Axis.Generations != 0 {
 		axes++
 		if sp.Axis.Generations < 0 {
-			return errf("%s: axis generations must be positive, got %d", sp.ID, sp.Axis.Generations)
+			return errf("%s.axis.generations: must be positive, got %d", sp.ID, sp.Axis.Generations)
 		}
 	}
 	if axes != 1 {
-		return errf("%s: exactly one of axis.n2, axis.ratios, axis.generations must be set", sp.ID)
+		return errf("%s.axis: exactly one of axis.n2, axis.ratios, axis.generations must be set", sp.ID)
 	}
 	if sp.Baseline != nil && (!(sp.Baseline.P > 0) || sp.Baseline.C < 0) {
-		return errf("%s: baseline needs p > 0 and c ≥ 0, got p=%g c=%g", sp.ID, sp.Baseline.P, sp.Baseline.C)
+		return errf("%s.baseline: needs p > 0 and c ≥ 0, got p=%g c=%g", sp.ID, sp.Baseline.P, sp.Baseline.C)
 	}
 	if sp.Alpha < 0 {
-		return errf("%s: alpha must be non-negative, got %g", sp.ID, sp.Alpha)
+		return errf("%s.alpha: must be non-negative, got %g", sp.ID, sp.Alpha)
 	}
 	if sp.Budget.Envelope < 0 {
-		return errf("%s: budget envelope must be non-negative, got %g", sp.ID, sp.Budget.Envelope)
+		return errf("%s.budget.envelope: must be non-negative, got %g", sp.ID, sp.Budget.Envelope)
+	}
+	if err := sp.validateEnvelopes(); err != nil {
+		return err
 	}
 	if len(sp.Cases) == 0 {
-		return errf("%s: spec needs at least one case", sp.ID)
+		return errf("%s.cases: spec needs at least one case", sp.ID)
 	}
 	for i, c := range sp.Cases {
-		if c.Alpha < 0 || c.Budget < 0 {
-			return errf("%s: case %d (%s): negative override", sp.ID, i, c.Label)
+		if c.Alpha < 0 {
+			return errf("%s.cases[%d].alpha: must be non-negative, got %g", sp.ID, i, c.Alpha)
+		}
+		if c.Budget < 0 {
+			return errf("%s.cases[%d].budget: must be non-negative, got %g", sp.ID, i, c.Budget)
 		}
 	}
 	return nil
+}
+
+// validateEnvelopes checks the multi-wall constraint set. Error messages
+// carry the envelope's JSON path and kind.
+func (sp *Spec) validateEnvelopes() error {
+	if len(sp.Envelopes) == 0 {
+		return nil
+	}
+	if sp.Budget != (Budget{}) {
+		return errf("%s.envelopes: mutually exclusive with the legacy budget field (budget.envelope is the single-bandwidth alias)", sp.ID)
+	}
+	seen := map[string]bool{}
+	for i, e := range sp.Envelopes {
+		kind := canonicalKind(e.Kind)
+		switch kind {
+		case scaling.KindBandwidth, scaling.KindThermal, scaling.KindEnergy:
+		default:
+			return errf("%s.envelopes[%d]: unknown kind %q (want bandwidth, thermal, or energy)", sp.ID, i, e.Kind)
+		}
+		if seen[kind] {
+			return errf("%s.envelopes[%d]: duplicate kind %q", sp.ID, i, kind)
+		}
+		seen[kind] = true
+		if e.Limit < 0 {
+			return errf("%s.envelopes[%d] (%s): limit must be non-negative, got %g", sp.ID, i, kind, e.Limit)
+		}
+		if e.Growth < 0 {
+			return errf("%s.envelopes[%d] (%s): growth must be non-negative, got %g", sp.ID, i, kind, e.Growth)
+		}
+		if kind == scaling.KindBandwidth && e.Growth != 0 {
+			return errf("%s.envelopes[%d] (bandwidth): growth applies only to thermal and energy walls (use compound for envelope growth)", sp.ID, i)
+		}
+		if e.CachePower != 0 && kind != scaling.KindThermal {
+			return errf("%s.envelopes[%d] (%s): cache_power applies only to thermal walls", sp.ID, i, kind)
+		}
+		if e.CachePower < 0 || e.CachePower >= 1 {
+			if e.CachePower != 0 {
+				return errf("%s.envelopes[%d] (thermal): cache_power must be in (0,1), got %g", sp.ID, i, e.CachePower)
+			}
+		}
+		if e.AccessShare != 0 && kind != scaling.KindEnergy {
+			return errf("%s.envelopes[%d] (%s): access_share applies only to energy walls", sp.ID, i, kind)
+		}
+		if e.AccessShare < 0 || e.AccessShare >= 1 {
+			if e.AccessShare != 0 {
+				return errf("%s.envelopes[%d] (energy): access_share must be in (0,1), got %g", sp.ID, i, e.AccessShare)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalKind lower-cases and trims an envelope kind.
+func canonicalKind(k string) string {
+	return strings.ToLower(strings.TrimSpace(k))
 }
 
 // baseline resolves the reference allocation.
@@ -191,6 +304,60 @@ func (sp *Spec) envelope() float64 {
 		return 1
 	}
 	return sp.Budget.Envelope
+}
+
+// normalize canonicalizes the constraint set in place: envelope kinds
+// fold to lower case, and a lone pure-bandwidth envelope (no growth or
+// coefficient overrides) folds into the legacy budget alias. ParseSpec
+// and the canonical marshal both apply it, so equivalent spellings of a
+// single-bandwidth spec collapse onto one serialized form — and therefore
+// one serve-tier fingerprint and one set of cache keys.
+func (sp *Spec) normalize() {
+	if len(sp.Envelopes) == 0 {
+		return
+	}
+	env := make([]Envelope, len(sp.Envelopes))
+	copy(env, sp.Envelopes)
+	for i := range env {
+		env[i].Kind = canonicalKind(env[i].Kind)
+	}
+	sp.Envelopes = env
+	if len(env) == 1 && sp.Budget == (Budget{}) &&
+		env[0] == (Envelope{Kind: scaling.KindBandwidth, Limit: env[0].Limit, Compound: env[0].Compound}) {
+		sp.Budget = Budget{Envelope: env[0].Limit, Compound: env[0].Compound}
+		sp.Envelopes = nil
+	}
+}
+
+// constraint resolves the wall set for one case. caseBudget > 0 is the
+// legacy per-case override: it replaces the bandwidth wall's limit
+// (adding a bandwidth wall when the envelope set lacks one); the other
+// walls are untouched.
+func (sp *Spec) constraint(caseBudget float64) scaling.Constraint {
+	if len(sp.Envelopes) == 0 {
+		b := caseBudget
+		if b == 0 {
+			b = sp.envelope()
+		}
+		return scaling.Bandwidth(b, sp.Budget.Compound)
+	}
+	walls := make([]scaling.Wall, 0, len(sp.Envelopes)+1)
+	haveBW := false
+	for _, e := range sp.Envelopes {
+		w := e.wall()
+		if bw, ok := w.(scaling.BandwidthWall); ok {
+			haveBW = true
+			if caseBudget > 0 {
+				bw.Budget = caseBudget
+				w = bw
+			}
+		}
+		walls = append(walls, w)
+	}
+	if caseBudget > 0 && !haveBW {
+		walls = append(walls, scaling.BandwidthWall{Budget: caseBudget})
+	}
+	return scaling.NewConstraint(walls...)
 }
 
 // axisGens expands the axis into concrete generations relative to the
@@ -278,10 +445,26 @@ func ParseSpec(data []byte) (*Spec, error) {
 	if dec.More() {
 		return nil, errf("spec %s: trailing data after JSON object", sp.ID)
 	}
+	sp.normalize()
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
 	return &sp, nil
+}
+
+// specJSON is Spec stripped of its methods, for canonical marshaling.
+type specJSON Spec
+
+// MarshalJSON renders the canonical spec form: normalized envelope kinds,
+// with a lone pure-bandwidth envelope folded into the legacy budget
+// field. ParseSpec normalizes identically, so Marshal→Parse→Marshal is a
+// fixed point and the canonical fingerprint cannot split across
+// equivalent spellings. Legacy specs (no envelopes) serialize exactly as
+// before.
+func (sp Spec) MarshalJSON() ([]byte, error) {
+	cp := sp
+	cp.normalize()
+	return json.Marshal(specJSON(cp))
 }
 
 // MarshalIndentSpec renders a spec as canonical indented JSON (the format

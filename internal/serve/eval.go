@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/robust"
+	"repro/internal/scaling"
 	"repro/internal/scenario"
 )
 
@@ -41,6 +42,11 @@ type EvalPoint struct {
 	N2    float64 `json:"n2"`
 	Cores int     `json:"cores"`
 	Exact float64 `json:"exact"`
+	// BindingWall names the constraint that limits this cell; Walls
+	// reports every wall's limit, usage, and headroom at the solved core
+	// count ("bandwidth" alone for legacy single-envelope specs).
+	BindingWall string                 `json:"binding_wall,omitempty"`
+	Walls       []scaling.WallHeadroom `json:"walls,omitempty"`
 }
 
 // CacheStats is the solver-cache traffic of one evaluation.
@@ -192,11 +198,13 @@ func renderOutcome(o *scenario.Outcome) ([]byte, error) {
 	}
 	for _, pt := range o.Points {
 		resp.Points = append(resp.Points, EvalPoint{
-			Case:  labels[pt.Case],
-			Ratio: pt.Gen.Ratio,
-			N2:    pt.Gen.N,
-			Cores: pt.Cores,
-			Exact: pt.Exact,
+			Case:        labels[pt.Case],
+			Ratio:       pt.Gen.Ratio,
+			N2:          pt.Gen.N,
+			Cores:       pt.Cores,
+			Exact:       pt.Exact,
+			BindingWall: pt.Binding,
+			Walls:       pt.Walls,
 		})
 	}
 	var report strings.Builder

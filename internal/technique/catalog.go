@@ -2,11 +2,45 @@ package technique
 
 import "fmt"
 
+// Default thermal/energy coefficients for techniques whose side effects go
+// beyond traffic. A zero-valued coefficient field on a technique struct
+// means "use the catalog default"; explicit values override. Provenance is
+// documented in EXPERIMENTS.md (Yavits et al. for thermal, Shahid et al.
+// for cache/link energy — see PAPERS.md).
+const (
+	// DefaultThermalResist3D: a stacked cache die between the logic die
+	// and the heat sink raises junction-to-ambient thermal resistance.
+	DefaultThermalResist3D = 1.25
+	// DefaultDRAMRefreshPower: DRAM cache arrays pay refresh power on
+	// top of access power, raising per-CEA cache power density.
+	DefaultDRAMRefreshPower = 1.2
+	// DefaultDRAMAccessEnergy: a DRAM cache access (destructive read,
+	// restore) costs more energy than the SRAM baseline.
+	DefaultDRAMAccessEnergy = 1.5
+	// DefaultCacheCompAccessEnergy: the (de)compression engine adds
+	// energy to every cache access.
+	DefaultCacheCompAccessEnergy = 1.1
+	// DefaultLinkCompBitEnergy: the link codec adds energy per
+	// transferred bit (the bit count itself already shrinks by Ratio).
+	DefaultLinkCompBitEnergy = 1.08
+)
+
+// coeff resolves an optional coefficient field: 0 means "catalog default".
+func coeff(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
 // CacheCompression models on-chip cache compression (§6.1): a hardware
 // engine stores lines compressed, multiplying effective cache capacity by
 // Ratio. The effect on traffic is indirect (Eq. 8).
 type CacheCompression struct {
 	Ratio float64 // effectiveness factor F (compression ratio), ≥1
+	// AccessEnergy multiplies energy per cache access (the compression
+	// engine's overhead). 0 means DefaultCacheCompAccessEnergy.
+	AccessEnergy float64
 }
 
 // Label implements Technique.
@@ -21,12 +55,21 @@ func (t CacheCompression) Describe() string {
 func (CacheCompression) Category() Category { return Indirect }
 
 // Modify implements Technique.
-func (t CacheCompression) Modify(pm *Params) { pm.CacheMult *= t.Ratio }
+func (t CacheCompression) Modify(pm *Params) {
+	pm.CacheMult *= t.Ratio
+	pm.CacheEnergyMult *= coeff(t.AccessEnergy, DefaultCacheCompAccessEnergy)
+}
 
 // DRAMCache models implementing the on-chip L2 in dense DRAM instead of
 // SRAM (§6.1), multiplying the storage density of every on-die cache CEA.
 type DRAMCache struct {
 	Density float64 // density vs SRAM: 4–16x in the literature
+	// RefreshPower multiplies per-CEA cache power (refresh overhead).
+	// 0 means DefaultDRAMRefreshPower.
+	RefreshPower float64
+	// AccessEnergy multiplies energy per cache access. 0 means
+	// DefaultDRAMAccessEnergy.
+	AccessEnergy float64
 }
 
 // Label implements Technique.
@@ -41,7 +84,11 @@ func (t DRAMCache) Describe() string {
 func (DRAMCache) Category() Category { return Indirect }
 
 // Modify implements Technique.
-func (t DRAMCache) Modify(pm *Params) { pm.DieDensity = t.Density }
+func (t DRAMCache) Modify(pm *Params) {
+	pm.DieDensity = t.Density
+	pm.CachePowerMult *= coeff(t.RefreshPower, DefaultDRAMRefreshPower)
+	pm.CacheEnergyMult *= coeff(t.AccessEnergy, DefaultDRAMAccessEnergy)
+}
 
 // ThreeDCache models a 3D-stacked cache-only die on top of the processor
 // die (§6.1, Eq. 9). The stacked die contributes N more CEAs of cache at
@@ -49,6 +96,10 @@ func (t DRAMCache) Modify(pm *Params) { pm.DieDensity = t.Density }
 // cache stays SRAM unless a DRAMCache technique is also stacked.
 type ThreeDCache struct {
 	LayerDensity float64 // density of the stacked die vs SRAM
+	// Resist multiplies effective thermal resistance: the stacked die
+	// sits between the logic die and the heat sink. 0 means
+	// DefaultThermalResist3D.
+	Resist float64
 }
 
 // Label implements Technique.
@@ -71,6 +122,7 @@ func (t ThreeDCache) Modify(pm *Params) {
 	if t.LayerDensity > pm.ExtraDieDensity {
 		pm.ExtraDieDensity = t.LayerDensity
 	}
+	pm.ThermalResist *= coeff(t.Resist, DefaultThermalResist3D)
 }
 
 // UnusedDataFilter models unused-data filtering (§6.1): discarding the
@@ -121,6 +173,9 @@ func (t SmallerCores) Modify(pm *Params) { pm.CoreArea = t.AreaFraction }
 // (§6.2): the same misses move fewer bytes, dividing traffic by Ratio.
 type LinkCompression struct {
 	Ratio float64 // effective bandwidth multiplier, ≥1
+	// BitEnergy multiplies energy per off-chip bit (codec overhead).
+	// 0 means DefaultLinkCompBitEnergy.
+	BitEnergy float64
 }
 
 // Label implements Technique.
@@ -135,7 +190,10 @@ func (t LinkCompression) Describe() string {
 func (LinkCompression) Category() Category { return Direct }
 
 // Modify implements Technique.
-func (t LinkCompression) Modify(pm *Params) { pm.TrafficDiv *= t.Ratio }
+func (t LinkCompression) Modify(pm *Params) {
+	pm.TrafficDiv *= t.Ratio
+	pm.LinkEnergyMult *= coeff(t.BitEnergy, DefaultLinkCompBitEnergy)
+}
 
 // SectoredCache models fetching only the predicted-useful sectors of a line
 // (§6.2): traffic shrinks by 1/(1-Unused) but unfetched sectors still
@@ -188,6 +246,12 @@ func (t SmallCacheLines) Modify(pm *Params) {
 // traffic ÷ Ratio simultaneously.
 type CacheLinkCompression struct {
 	Ratio float64 // compression ratio applied to both cache and link, ≥1
+	// AccessEnergy multiplies energy per cache access. 0 means
+	// DefaultCacheCompAccessEnergy.
+	AccessEnergy float64
+	// BitEnergy multiplies energy per off-chip bit. 0 means
+	// DefaultLinkCompBitEnergy.
+	BitEnergy float64
 }
 
 // Label implements Technique.
@@ -205,6 +269,8 @@ func (CacheLinkCompression) Category() Category { return Dual }
 func (t CacheLinkCompression) Modify(pm *Params) {
 	pm.CacheMult *= t.Ratio
 	pm.TrafficDiv *= t.Ratio
+	pm.CacheEnergyMult *= coeff(t.AccessEnergy, DefaultCacheCompAccessEnergy)
+	pm.LinkEnergyMult *= coeff(t.BitEnergy, DefaultLinkCompBitEnergy)
 }
 
 // DataSharing models multithreaded workloads whose threads share a fraction

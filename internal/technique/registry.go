@@ -68,22 +68,57 @@ func oneParam(name, key string, p map[string]float64, def float64) (float64, err
 	return v, nil
 }
 
+// splitCoeffs separates optional coefficient keys (thermal/energy side
+// effects: "resist", "refresh", "eacc", "ebit") from the remaining
+// parameters. Coefficients must be positive when present; absent keys stay
+// 0 in the returned map, which the technique's Modify resolves to the
+// catalog default.
+func splitCoeffs(name string, p map[string]float64, keys []string) (coeffs, rest map[string]float64, err error) {
+	coeffs = make(map[string]float64, len(keys))
+	rest = make(map[string]float64, len(p))
+	for k, v := range p {
+		matched := false
+		for _, ck := range keys {
+			if k == ck {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rest[k] = v
+			continue
+		}
+		if !(v > 0) {
+			return nil, nil, specErrf("%s: %s must be positive, got %g", name, k, v)
+		}
+		coeffs[k] = v
+	}
+	return coeffs, rest, nil
+}
+
 // ratioBuilder covers the ≥1 multiplicative techniques (CC, LC, CC/LC, DRAM, 3D).
-func ratioBuilder(name string, aliases []string, key, doc string, min float64, defs [3]float64, mk func(v float64) Technique) Builder {
+// coeffKeys lists the optional thermal/energy coefficient keys the family
+// accepts beyond the primary parameter; mk receives them as a map where a
+// missing key is 0 ("use the catalog default").
+func ratioBuilder(name string, aliases []string, key, doc string, min float64, defs [3]float64, coeffKeys []string, mk func(v float64, c map[string]float64) Technique) Builder {
 	return Builder{
 		Name: name, Aliases: aliases, Key: key, Doc: doc,
 		Defaults: func(a Assumption) map[string]float64 {
 			return map[string]float64{key: pick(a, defs[0], defs[1], defs[2])}
 		},
 		ParseParams: func(p map[string]float64) (Technique, error) {
-			v, err := oneParam(name, key, p, pick(Realistic, defs[0], defs[1], defs[2]))
+			coeffs, rest, err := splitCoeffs(name, p, coeffKeys)
+			if err != nil {
+				return nil, err
+			}
+			v, err := oneParam(name, key, rest, pick(Realistic, defs[0], defs[1], defs[2]))
 			if err != nil {
 				return nil, err
 			}
 			if !(v >= min) {
 				return nil, specErrf("%s: %s must be ≥ %g, got %g", name, key, min, v)
 			}
-			return mk(v), nil
+			return mk(v, coeffs), nil
 		},
 	}
 }
@@ -113,12 +148,21 @@ func fracBuilder(name string, aliases []string, key, doc string, defs [3]float64
 // Table 2 (and the Catalog variable); Shr/ShrPriv extend it with the §6.3
 // data-sharing models.
 var Builders = []Builder{
-	ratioBuilder("CC", nil, "ratio", "cache compression ratio (effective capacity multiplier)", 1,
-		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return CacheCompression{Ratio: v} }),
-	ratioBuilder("DRAM", nil, "density", "DRAM L2 storage density vs SRAM", 1,
-		[3]float64{4, 8, 16}, func(v float64) Technique { return DRAMCache{Density: v} }),
-	ratioBuilder("3D", nil, "density", "3D-stacked cache die density vs SRAM (1 = SRAM layer)", 1,
-		[3]float64{1, 1, 1}, func(v float64) Technique { return ThreeDCache{LayerDensity: v} }),
+	ratioBuilder("CC", nil, "ratio", "cache compression ratio (effective capacity multiplier); optional eacc: energy per cache access vs SRAM", 1,
+		[3]float64{1.25, 2.0, 3.5}, []string{"eacc"},
+		func(v float64, c map[string]float64) Technique {
+			return CacheCompression{Ratio: v, AccessEnergy: c["eacc"]}
+		}),
+	ratioBuilder("DRAM", nil, "density", "DRAM L2 storage density vs SRAM; optional refresh: cache power multiplier, eacc: energy per access vs SRAM", 1,
+		[3]float64{4, 8, 16}, []string{"refresh", "eacc"},
+		func(v float64, c map[string]float64) Technique {
+			return DRAMCache{Density: v, RefreshPower: c["refresh"], AccessEnergy: c["eacc"]}
+		}),
+	ratioBuilder("3D", nil, "density", "3D-stacked cache die density vs SRAM (1 = SRAM layer); optional resist: thermal resistance multiplier", 1,
+		[3]float64{1, 1, 1}, []string{"resist"},
+		func(v float64, c map[string]float64) Technique {
+			return ThreeDCache{LayerDensity: v, Resist: c["resist"]}
+		}),
 	fracBuilder("Fltr", nil, "unused", "fraction of cached data never referenced, filtered out",
 		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return UnusedDataFilter{Unused: v} }),
 	{
@@ -137,14 +181,20 @@ var Builders = []Builder{
 			return SmallerCores{AreaFraction: 1 / v}, nil
 		},
 	},
-	ratioBuilder("LC", nil, "ratio", "link compression ratio (effective bandwidth multiplier)", 1,
-		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return LinkCompression{Ratio: v} }),
+	ratioBuilder("LC", nil, "ratio", "link compression ratio (effective bandwidth multiplier); optional ebit: energy per off-chip bit vs baseline", 1,
+		[3]float64{1.25, 2.0, 3.5}, []string{"ebit"},
+		func(v float64, c map[string]float64) Technique {
+			return LinkCompression{Ratio: v, BitEnergy: c["ebit"]}
+		}),
 	fracBuilder("Sect", nil, "unused", "fraction of fetched line data never referenced, not fetched",
 		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return SectoredCache{Unused: v} }),
 	fracBuilder("SmCl", nil, "unused", "fraction of line data never referenced, neither fetched nor stored",
 		[3]float64{0.10, 0.40, 0.80}, func(v float64) Technique { return SmallCacheLines{Unused: v} }),
-	ratioBuilder("CC/LC", []string{"CCLC"}, "ratio", "compression ratio applied to both cache and link", 1,
-		[3]float64{1.25, 2.0, 3.5}, func(v float64) Technique { return CacheLinkCompression{Ratio: v} }),
+	ratioBuilder("CC/LC", []string{"CCLC"}, "ratio", "compression ratio applied to both cache and link; optional eacc/ebit energy coefficients", 1,
+		[3]float64{1.25, 2.0, 3.5}, []string{"eacc", "ebit"},
+		func(v float64, c map[string]float64) Technique {
+			return CacheLinkCompression{Ratio: v, AccessEnergy: c["eacc"], BitEnergy: c["ebit"]}
+		}),
 	fracBuilder("Shr", nil, "shared", "fraction of cached data shared by all threads (shared L2)",
 		[3]float64{0.4, 0.4, 0.4}, func(v float64) Technique { return DataSharing{SharedFrac: v} }),
 	fracBuilder("ShrPriv", []string{"Shr(priv)"}, "shared", "shared data fraction with private, replicating L2s",
@@ -244,9 +294,20 @@ func StackSpecs(st Stack) ([]Spec, error) {
 // SpecName implements spec serialization for CacheCompression.
 func (CacheCompression) SpecName() string { return "CC" }
 
+// putCoeff emits an optional coefficient key only when explicitly set;
+// zero-valued fields mean "catalog default" and stay out of the spec so
+// default-built and explicit-default specs keep distinct spellings but the
+// canonical default form stays minimal.
+func putCoeff(m map[string]float64, key string, v float64) map[string]float64 {
+	if v != 0 {
+		m[key] = v
+	}
+	return m
+}
+
 // MarshalParams implements spec serialization for CacheCompression.
 func (t CacheCompression) MarshalParams() map[string]float64 {
-	return map[string]float64{"ratio": t.Ratio}
+	return putCoeff(map[string]float64{"ratio": t.Ratio}, "eacc", t.AccessEnergy)
 }
 
 // SpecName implements spec serialization for DRAMCache.
@@ -254,7 +315,8 @@ func (DRAMCache) SpecName() string { return "DRAM" }
 
 // MarshalParams implements spec serialization for DRAMCache.
 func (t DRAMCache) MarshalParams() map[string]float64 {
-	return map[string]float64{"density": t.Density}
+	m := putCoeff(map[string]float64{"density": t.Density}, "refresh", t.RefreshPower)
+	return putCoeff(m, "eacc", t.AccessEnergy)
 }
 
 // SpecName implements spec serialization for ThreeDCache.
@@ -262,7 +324,7 @@ func (ThreeDCache) SpecName() string { return "3D" }
 
 // MarshalParams implements spec serialization for ThreeDCache.
 func (t ThreeDCache) MarshalParams() map[string]float64 {
-	return map[string]float64{"density": t.LayerDensity}
+	return putCoeff(map[string]float64{"density": t.LayerDensity}, "resist", t.Resist)
 }
 
 // SpecName implements spec serialization for UnusedDataFilter.
@@ -286,7 +348,7 @@ func (LinkCompression) SpecName() string { return "LC" }
 
 // MarshalParams implements spec serialization for LinkCompression.
 func (t LinkCompression) MarshalParams() map[string]float64 {
-	return map[string]float64{"ratio": t.Ratio}
+	return putCoeff(map[string]float64{"ratio": t.Ratio}, "ebit", t.BitEnergy)
 }
 
 // SpecName implements spec serialization for SectoredCache.
@@ -310,7 +372,8 @@ func (CacheLinkCompression) SpecName() string { return "CC/LC" }
 
 // MarshalParams implements spec serialization for CacheLinkCompression.
 func (t CacheLinkCompression) MarshalParams() map[string]float64 {
-	return map[string]float64{"ratio": t.Ratio}
+	m := putCoeff(map[string]float64{"ratio": t.Ratio}, "eacc", t.AccessEnergy)
+	return putCoeff(m, "ebit", t.BitEnergy)
 }
 
 // SpecName implements spec serialization for DataSharing.

@@ -76,6 +76,22 @@ type Params struct {
 	// caches, where shared blocks are replicated. Only the fetch count
 	// shrinks (P' fetchers); cache per core stays C2/P2.
 	PrivateSharedFrac float64
+	// ThermalResist multiplies the chip's effective thermal resistance
+	// (junction-to-ambient). 3D stacking raises it: heat from the logic
+	// die must cross the stacked cache die (Yavits et al.). Neutral 1.
+	ThermalResist float64
+	// CachePowerMult multiplies the per-CEA power of cache area relative
+	// to the SRAM baseline (DRAM caches pay refresh power). Neutral 1.
+	CachePowerMult float64
+	// CacheEnergyMult multiplies the energy per cache access relative to
+	// the SRAM baseline (compression engines, DRAM access energy).
+	// Neutral 1.
+	CacheEnergyMult float64
+	// LinkEnergyMult multiplies the energy per off-chip bit (link
+	// compression codecs). Applied to the traffic-proportional term of
+	// the energy wall; note traffic itself already shrinks by TrafficDiv.
+	// Neutral 1.
+	LinkEnergyMult float64
 }
 
 // Neutral returns Params that leave the base model unchanged.
@@ -87,6 +103,10 @@ func Neutral() Params {
 		TrafficDiv:      1,
 		CoreArea:        1,
 		SharedFrac:      0,
+		ThermalResist:   1,
+		CachePowerMult:  1,
+		CacheEnergyMult: 1,
+		LinkEnergyMult:  1,
 	}
 }
 
@@ -109,6 +129,14 @@ func (pm Params) Validate() error {
 		return fmt.Errorf("technique: private shared fraction must be in [0,1), got %g", pm.PrivateSharedFrac)
 	case pm.SharedFrac > 0 && pm.PrivateSharedFrac > 0:
 		return fmt.Errorf("technique: shared-cache and private-cache sharing are mutually exclusive")
+	case !(pm.ThermalResist > 0):
+		return fmt.Errorf("technique: thermal resistance multiplier must be positive, got %g", pm.ThermalResist)
+	case !(pm.CachePowerMult > 0):
+		return fmt.Errorf("technique: cache power multiplier must be positive, got %g", pm.CachePowerMult)
+	case !(pm.CacheEnergyMult > 0):
+		return fmt.Errorf("technique: cache energy multiplier must be positive, got %g", pm.CacheEnergyMult)
+	case !(pm.LinkEnergyMult > 0):
+		return fmt.Errorf("technique: link energy multiplier must be positive, got %g", pm.LinkEnergyMult)
 	}
 	return nil
 }
