@@ -7,6 +7,7 @@
 //	bandwall list
 //	bandwall run [suite flags] [-quick] <experiment-id>... | all
 //	bandwall eval [suite flags] SPEC.json...
+//	bandwall optimize [-json] [-csv DIR] [-jobs N] SPEC.json...
 //	bandwall serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
 //	bandwall gateway -replicas URL,URL,... [-addr HOST:PORT] [-attempts N] [-breaker-threshold N] [-breaker-cooldown D] [-hedge Q] [-stale-cache N]
 //	bandwall loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-chaos] [-json FILE]
@@ -104,6 +105,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdRun(ctx, args[1:], out)
 	case "eval":
 		return cmdEval(ctx, args[1:], out)
+	case "optimize":
+		return cmdOptimize(ctx, args[1:], out)
 	case "serve":
 		return cmdServe(ctx, args[1:], out)
 	case "gateway":
@@ -143,6 +146,7 @@ subcommands:
   list      list every figure/table reproduction (no flags)
   run       run reproductions:       run [suite flags] [-quick] fig02 fig15 | all
   eval      evaluate scenario specs: eval [suite flags] examples/scenarios/stacked-compression.json
+  optimize  inverse design search:   optimize [-json] [-csv DIR] [-jobs N] examples/scenarios/optimize-area-budget.json
   serve     HTTP evaluation service: serve [-addr HOST:PORT] [-inflight N] [-timeout D] [-drain D] [-cache N] [-tracebuf N] [-debug-addr HOST:PORT] [-quiet]
   gateway   fleet front tier:        gateway -replicas URL,URL,... [-addr HOST:PORT] [-attempts N] [-breaker-threshold N] [-breaker-cooldown D] [-hedge Q] [-stale-cache N]
   loadgen   drive a running server:  loadgen [-url URL] [-spec SPEC.json] [-c N] [-d D] [-chaos] [-json FILE]

@@ -223,7 +223,7 @@ func TestSelftest(t *testing.T) {
 	if err != nil {
 		t.Fatalf("selftest failed:\n%s\n%v", out, err)
 	}
-	if !strings.Contains(out, "all 28 checks pass") {
+	if !strings.Contains(out, "all 29 checks pass") {
 		t.Errorf("selftest output:\n%s", out)
 	}
 	if strings.Contains(out, "FAIL") {
@@ -356,11 +356,15 @@ func TestEvalErrors(t *testing.T) {
 // TestSelftestSpecFiles covers the CI spec-sanity hook: selftest with spec
 // paths validates them and counts them as checks; a broken spec fails.
 func TestSelftestSpecFiles(t *testing.T) {
-	out, err := runCapture(t, append([]string{"selftest"}, exampleSpecs...)...)
+	// The optimize example rides along: spec sanity falls back to the
+	// OptimizeSpec parser, so CI can glob all of examples/scenarios.
+	specs := append(append([]string{}, exampleSpecs...),
+		"../../examples/scenarios/optimize-area-budget.json")
+	out, err := runCapture(t, append([]string{"selftest"}, specs...)...)
 	if err != nil {
 		t.Fatalf("selftest with specs failed:\n%s\n%v", out, err)
 	}
-	if !strings.Contains(out, "all 32 checks pass") {
+	if !strings.Contains(out, "all 34 checks pass") {
 		t.Errorf("selftest spec output:\n%s", out)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
@@ -810,5 +814,55 @@ func TestBench(t *testing.T) {
 func TestBenchBadFlag(t *testing.T) {
 	if _, err := runCapture(t, "bench", "-bogus"); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestOptimizeSigintExitCode pins cancellation for the inverse optimizer:
+// SIGINT during a search whose solves are blocked by an injected sleep
+// must tear the worker pool down promptly and exit 130.
+func TestOptimizeSigintExitCode(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "opt.json")
+	body := `{
+	  "id": "sigint-opt", "n2": 32, "budget": {"envelope": 1},
+	  "catalog": [
+	    {"name": "LC", "params": {"ratio": 2}, "cost": 1.5},
+	    {"name": "DRAM", "params": {"density": 8}, "cost": 4}
+	  ],
+	  "split": {"min": 0.5, "max": 2, "points": 3}
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Every wall solve blocks on a 30s injected sleep until the signal
+	// cancels the search context.
+	cmd, stderr := cliCommand("optimize "+spec, "scaling.solve=sleep:30s x*")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond)
+	sigAt := time.Now()
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(5 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("optimize did not exit after SIGINT")
+	}
+	if wall := time.Since(sigAt); wall > 2*time.Second {
+		t.Errorf("exit took %v after SIGINT, want under 2s", wall)
+	}
+	code := 0
+	if exitErr, ok := waitErr.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if waitErr != nil {
+		t.Fatal(waitErr)
+	}
+	if code != 130 {
+		t.Errorf("exit code %d, want 130 (stderr: %s)", code, stderr.String())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/bandwall"
+	"repro/internal/optimize"
 	"repro/internal/scenario"
 )
 
@@ -122,6 +123,72 @@ func checkFlip(eng *scenario.Engine, out io.Writer) (failures int, err error) {
 	return failures, nil
 }
 
+// optimizeCheckSpec mirrors examples/scenarios/optimize-area-budget.json;
+// checkOptimize pins its Pareto frontier and best design, so the inverse
+// optimizer's answer is release-checked alongside the paper numbers.
+const optimizeCheckSpec = `{
+  "id": "optimize-area-budget", "n2": 32,
+  "envelopes": [
+    {"kind": "bandwidth", "limit": 1},
+    {"kind": "thermal", "limit": 2.08}
+  ],
+  "objective": "cores",
+  "catalog": [
+    {"name": "Fltr", "params": {"unused": 0.4}, "cost": 1},
+    {"name": "LC", "params": {"ratio": 2}, "cost": 1.5},
+    {"name": "CC", "params": {"ratio": 2}, "cost": 2},
+    {"name": "CC/LC", "params": {"ratio": 2}, "cost": 3},
+    {"name": "DRAM", "params": {"density": 8}, "cost": 4},
+    {"name": "3D", "params": {"density": 8}, "cost": 6}
+  ],
+  "max_techniques": 3,
+  "split": {"min": 0.25, "max": 4, "points": 8}
+}`
+
+// checkOptimize runs the inverse optimizer on the worked example and
+// verifies the frontier's (cost, cores, stack, binding) walk, ending on
+// the thermal-bound 3D design.
+func checkOptimize(out io.Writer) (failures int, err error) {
+	osp, err := scenario.ParseOptimizeSpec([]byte(optimizeCheckSpec))
+	if err != nil {
+		return 0, err
+	}
+	res, err := optimize.New().Search(context.Background(), osp)
+	if err != nil {
+		return 0, err
+	}
+	want := []struct {
+		cost    float64
+		cores   int
+		label   string
+		binding string
+	}{
+		{0, 11, "BASE", "bandwidth"},
+		{1, 12, "Fltr", "bandwidth"},
+		{1.5, 16, "LC", "bandwidth"},
+		{2.5, 18, "Fltr + LC", "bandwidth"},
+		{4, 21, "Fltr + CC/LC", "bandwidth"},
+		{5.5, 24, "LC + DRAM", "bandwidth"},
+		{6, 25, "3D", "thermal"},
+	}
+	status := "ok"
+	if len(res.Frontier) != len(want) {
+		status = fmt.Sprintf("FAIL (%d frontier points, want %d)", len(res.Frontier), len(want))
+		failures++
+	} else {
+		for i, w := range want {
+			g := res.Frontier[i]
+			if g.Cost != w.cost || g.Cores != w.cores || g.Label != w.label || g.Binding != w.binding {
+				status = fmt.Sprintf("FAIL (frontier[%d]: %s %d cores @ cost %g under %s)", i, g.Label, g.Cores, g.Cost, g.Binding)
+				failures++
+				break
+			}
+		}
+	}
+	fmt.Fprintf(out, "%-36s 7-point frontier, best 3D ... %s\n", "Optimize: area-budget example", status)
+	return failures, nil
+}
+
 // cmdSelftest verifies the pinned numbers and reports pass/fail — a
 // seconds-long release sanity check (the full `go test ./...` covers far
 // more, but needs a Go toolchain). Any arguments are scenario spec files
@@ -181,15 +248,25 @@ func cmdSelftest(args []string, out io.Writer) error {
 		return err
 	}
 	failures += flipFails
+	// Inverse optimizer: the worked example's pinned frontier.
+	optFails, err := checkOptimize(out)
+	if err != nil {
+		return err
+	}
+	failures += optFails
 	// User-supplied spec files: strict parse + validation only, so this
 	// stays a schema sanity check rather than an open-ended evaluation.
+	// Files that are not scenario specs are tried as optimize specs, so CI
+	// can point this at all of examples/scenarios/*.json.
 	for _, path := range args {
 		status := "ok"
 		data, err := os.ReadFile(path)
 		if err != nil {
 			status = fmt.Sprintf("FAIL (%v)", err)
-		} else if _, err := scenario.ParseSpec(data); err != nil {
-			status = fmt.Sprintf("FAIL (%v)", err)
+		} else if _, specErr := scenario.ParseSpec(data); specErr != nil {
+			if _, optErr := scenario.ParseOptimizeSpec(data); optErr != nil {
+				status = fmt.Sprintf("FAIL (%v)", specErr)
+			}
 		}
 		if status != "ok" {
 			failures++
@@ -199,7 +276,7 @@ func cmdSelftest(args []string, out io.Writer) error {
 	if failures > 0 {
 		return fmt.Errorf("selftest: %d checks failed", failures)
 	}
-	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4+len(scenarioChecks)+1+len(args))
+	fmt.Fprintf(out, "\nall %d checks pass\n", len(selfChecks)+4+len(scenarioChecks)+2+len(args))
 	return nil
 }
 

@@ -285,6 +285,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("POST /v1/eval", g.instrument("eval", g.handleEval))
+	g.mux.HandleFunc("POST /v1/optimize", g.instrument("optimize", g.handleOptimize))
 	g.mux.HandleFunc("POST /v1/validate", g.instrument("validate", g.handleValidate))
 	g.mux.HandleFunc("GET /v1/experiments", g.instrument("experiments", g.handleExperiments))
 	g.mux.HandleFunc("POST /v1/experiments/{id}/run", g.instrument("run", g.handleExperimentRun))
@@ -375,7 +376,7 @@ func (g *Gateway) budgetCtx(r *http.Request) (context.Context, context.CancelFun
 // relay copies a buffered upstream response to the client, stamping the
 // replica that produced it.
 func (g *Gateway) relay(w http.ResponseWriter, res *proxyResult) {
-	for _, h := range []string{"Content-Type", serve.TraceHeader, "Retry-After"} {
+	for _, h := range []string{"Content-Type", serve.TraceHeader, serve.CacheHeader, "Retry-After"} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -489,6 +490,43 @@ func (g *Gateway) handleEval(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	order := rendezvousOrder(g.replicas, fp)
 	res, attempts, ferr := g.forwardHedged(ctx, order, http.MethodPost, "/v1/eval", "", body, true)
+	g.finish(w, res, attempts, ferr, fp)
+}
+
+// handleOptimize routes inverse design-space queries exactly like eval:
+// parse first (domain-invalid queries never cost a ring attempt), then
+// rendezvous-route on the optimize fingerprint — the same key the
+// replicas cache the rendered search under, so repeated queries land on
+// the replica that already holds the answer.
+func (g *Gateway) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r, defaultMaxSpecBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, kindBadRequest, err, "")
+		return
+	}
+	osp, err := scenario.ParseOptimizeSpec(body)
+	if err != nil {
+		kind := kindBadRequest
+		if errors.Is(err, robust.ErrDomain) {
+			kind = kindDomain
+		}
+		w.Header().Set(AttemptsHeader, "0")
+		writeErr(w, http.StatusBadRequest, kind, err, "")
+		return
+	}
+	fp, err := serve.FingerprintOptimizeSpec(osp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, kindInternal, err, "")
+		return
+	}
+	ctx, cancel, err := g.budgetCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, kindBadRequest, err, "")
+		return
+	}
+	defer cancel()
+	order := rendezvousOrder(g.replicas, fp)
+	res, attempts, ferr := g.forwardHedged(ctx, order, http.MethodPost, "/v1/optimize", "", body, true)
 	g.finish(w, res, attempts, ferr, fp)
 }
 

@@ -629,3 +629,80 @@ func TestCacheDeletePurgesStaleReserve(t *testing.T) {
 		t.Fatalf("post-purge degraded status %d, want 503 (stale reserve must not serve invalidated results): %s", w.Code, w.Body)
 	}
 }
+
+// TestOptimizeThroughGateway proves the inverse-query route end to end
+// over real serve replicas: the query is rendezvous-routed on its
+// optimize fingerprint, the first pass is a cache miss on exactly one
+// replica, and the repeat lands on the same replica as a relayed
+// cache hit with the identical body.
+func TestOptimizeThroughGateway(t *testing.T) {
+	g, _, _ := newServeFleet(t, 3, nil)
+	body := `{
+	  "id": "fleet-opt", "n2": 32, "budget": {"envelope": 1},
+	  "catalog": [
+	    {"name": "LC", "params": {"ratio": 2}, "cost": 1.5},
+	    {"name": "DRAM", "params": {"density": 8}, "cost": 4}
+	  ],
+	  "split": {"min": 0.5, "max": 2, "points": 3}
+	}`
+
+	w1 := postGateway(t, g, "/v1/optimize", body)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("first optimize status %d: %s", w1.Code, w1.Body)
+	}
+	if got := w1.Header().Get("X-Bandwall-Cache"); got != "miss" {
+		t.Errorf("first optimize cache disposition = %q, want miss", got)
+	}
+	rep1 := w1.Header().Get(ReplicaHeader)
+	if rep1 == "" {
+		t.Fatal("first optimize response has no replica header")
+	}
+
+	w2 := postGateway(t, g, "/v1/optimize", body)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second optimize status %d: %s", w2.Code, w2.Body)
+	}
+	if got := w2.Header().Get(ReplicaHeader); got != rep1 {
+		t.Errorf("repeat routed to %s, want the fingerprint's replica %s", got, rep1)
+	}
+	if got := w2.Header().Get("X-Bandwall-Cache"); got != "hit" {
+		t.Errorf("second optimize cache disposition = %q, want hit", got)
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Error("cached optimize response differs from the original")
+	}
+
+	var or serve.OptimizeResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &or); err != nil {
+		t.Fatalf("optimize response is not JSON: %v\n%s", err, w2.Body)
+	}
+	if or.ID != "fleet-opt" || len(or.Frontier) == 0 || or.Best.Cores <= 0 {
+		t.Errorf("unexpected optimize answer: id=%q frontier=%d best=%d cores", or.ID, len(or.Frontier), or.Best.Cores)
+	}
+}
+
+// TestOptimizeDomainNeverReachesRing pins the no-retry-on-400 guarantee
+// for the optimize route: a domain-invalid query is answered by the
+// gateway itself with zero ring attempts.
+func TestOptimizeDomainNeverReachesRing(t *testing.T) {
+	g, _ := newTestGateway(t, 2, nil)
+	w := postGateway(t, g, "/v1/optimize", `{"id":"bad","n2":-1}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(AttemptsHeader); got != "0" {
+		t.Errorf("attempts = %q, want 0", got)
+	}
+	var he gwError
+	if err := json.Unmarshal(w.Body.Bytes(), &he); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, w.Body)
+	}
+	if he.Kind != "domain" {
+		t.Errorf("error kind = %q, want domain", he.Kind)
+	}
+	for base, hits := range g.ReplicaHits() {
+		if hits != 0 {
+			t.Errorf("replica %s saw %d attempts for a domain-invalid query", base, hits)
+		}
+	}
+}

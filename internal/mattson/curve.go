@@ -276,14 +276,19 @@ func curvePoints(cfgs []cachesim.Config, profs []*SetProfiler) []cachesim.CurveP
 // setCurveParallel is the set-parallel feed: w workers each own a
 // contiguous range of the smallest profiler's set-index space (which
 // partitions every profiler's sets at once — see parallel.go). The main
-// goroutine packs each chunk once and broadcasts the read-only slice;
-// packing chunk k+1 overlaps the workers' pass over chunk k via double
-// buffering. Worker counters merge into the profilers only at the warmup
-// boundary and the end of the feed, so the hot path takes no locks.
+// goroutine broadcasts each raw access batch and the workers fuse the
+// pack into their partition filter, so no serial packing pass sits in
+// front of the pool. For generators without a Batch method the accesses
+// are collected into double buffers, overlapping chunk k+1's collection
+// with the workers' pass over chunk k; a Batcher's slice is only valid
+// until the generator advances, so that path waits out the in-flight
+// chunk before advancing (the batch there is a ready-made slice, so
+// there is no collection work to overlap anyway). Worker counters merge
+// into the profilers only at the warmup boundary and the end of the
+// feed, so the hot path takes no locks.
 func setCurveParallel(ctx context.Context, gen trace.Generator, cfgs []cachesim.Config, profs []*SetProfiler, fused []fusedGroup, single []int, warmup, n, w, minSets int, ar *sweepArena) ([]cachesim.CurvePoint, error) {
 	run := startWorkers(w, minSets, ar, fused, single, profs)
 	defer run.stop()
-	pbufs := [2][]uint64{ar.grab(parallelChunk), ar.grab(parallelChunk)}
 	batcher, _ := gen.(trace.Batcher)
 	var abufs [2][]trace.Access
 	if batcher == nil {
@@ -303,15 +308,18 @@ func setCurveParallel(ctx context.Context, gen trace.Generator, cfgs []cachesim.
 			m := min(count, parallelChunk)
 			var batch []trace.Access
 			if batcher != nil {
+				if pending {
+					run.wait()
+					pending = false
+				}
 				batch = batcher.Batch(m)
 			} else {
 				batch = trace.CollectInto(gen, abufs[cur][:m])
+				if pending {
+					run.wait()
+				}
 			}
-			packed := packInto(pbufs[cur][:0], batch, profs[0].lineShift)
-			if pending {
-				run.wait()
-			}
-			run.broadcast(packed)
+			run.broadcast(batch)
 			pending = true
 			cur ^= 1
 			count -= len(batch)

@@ -21,16 +21,20 @@ import (
 // parallel sweep is exact — bit-identical Stats to the serial kernel for
 // any worker count — not an approximation.
 //
-// Mechanically, the main goroutine packs each chunk once (packInto) and
-// broadcasts the shared read-only packed slice to every worker; packing
-// the next chunk overlaps the workers' pass over the current one. Each
-// worker filter-copies its own accesses into private scratch with a
-// branchless append (the "is mine" test is data-dependent and would
-// mispredict ~(W-1)/W of the time as a branch), then runs the same fused
-// five-size kernel / packed single-profiler kernels as the serial path
-// over the compacted sub-stream, accumulating counters into worker-local
-// partStats. Stats merge into the profilers only at feed boundaries, on
-// the main goroutine.
+// Mechanically, the main goroutine broadcasts each raw access batch to
+// every worker; collecting the next chunk overlaps the workers' pass over
+// the current one. Each worker packs and filters in one fused loop: it
+// converts each access to the packed word the hot loops consume
+// (lineAddr<<1 | write — the same encoding packInto produces) and keeps
+// it with a branchless append only when the partition test passes (the
+// "is mine" test is data-dependent and would mispredict ~(W-1)/W of the
+// time as a branch). Folding the pack into the filter removes the
+// serial main-goroutine packing pass — each worker reads the shared
+// batch once and writes only its private scratch — and then runs the
+// same fused five-size kernel / packed single-profiler kernels as the
+// serial path over the compacted sub-stream, accumulating counters into
+// worker-local partStats. Stats merge into the profilers only at feed
+// boundaries, on the main goroutine.
 
 // minPartSets is the serial-fallback threshold: each worker must own at
 // least this many sets of the smallest profiler, or partitions get too
@@ -157,27 +161,30 @@ type fusedGroup struct {
 // curveWorker owns one contiguous range of the smallest profiler's set
 // index space: the accesses with (lineAddr & pm) >> pshift == pid.
 type curveWorker struct {
-	pm     uint64 // S_min - 1
-	pshift uint   // log2(S_min / workers)
-	pid    uint64 // this worker's partition index
-	buf    []uint64
-	accs   []partStats // one per profiler, indexed like profs
-	in     chan []uint64
+	pm        uint64 // S_min - 1
+	pshift    uint   // log2(S_min / workers)
+	pid       uint64 // this worker's partition index
+	lineShift uint   // shared line geometry (all profilers agree)
+	buf       []uint64
+	accs      []partStats // one per profiler, indexed like profs
+	in        chan []trace.Access
 }
 
-// run consumes broadcast packed chunks until the channel closes,
-// filtering each down to the worker's partition and running the shared
-// kernels over the compacted sub-stream. The ways arrays are shared
-// across workers but each 16-word set block is written by exactly one
-// worker (the partition invariant), so no synchronization beyond the
-// per-chunk barrier is needed.
+// run consumes broadcast raw access batches until the channel closes,
+// pack-filtering each down to the worker's partition in one fused pass
+// and running the shared kernels over the compacted sub-stream. The ways
+// arrays are shared across workers but each 16-word set block is written
+// by exactly one worker (the partition invariant), so no synchronization
+// beyond the per-chunk barrier is needed.
 func (w *curveWorker) run(fused []fusedGroup, singles []int, profs []*SetProfiler, wg *sync.WaitGroup) {
 	pm, pshift, pid := w.pm, w.pshift&63, w.pid
-	for packed := range w.in {
-		buf := w.buf[:len(packed)]
+	lineShift := w.lineShift & 63
+	for batch := range w.in {
+		buf := w.buf[:len(batch)]
 		j := 0
-		for i := 0; i < len(packed); i++ {
-			x := packed[i]
+		for i := 0; i < len(batch); i++ {
+			a := batch[i]
+			x := (a.Addr>>lineShift)<<1 | b2u(a.Write)
 			buf[j] = x
 			j += int(b2u(((x>>1)&pm)>>pshift == pid))
 		}
@@ -213,12 +220,13 @@ func startWorkers(w int, minSets int, ar *sweepArena, fused []fusedGroup, single
 	pshift := uint(bits.TrailingZeros(uint(minSets / w)))
 	for i := range pr.workers {
 		cw := &curveWorker{
-			pm:     uint64(minSets - 1),
-			pshift: pshift,
-			pid:    uint64(i),
-			buf:    ar.grab(parallelChunk),
-			accs:   make([]partStats, len(profs)),
-			in:     make(chan []uint64, 1),
+			pm:        uint64(minSets - 1),
+			pshift:    pshift,
+			pid:       uint64(i),
+			lineShift: profs[0].lineShift,
+			buf:       ar.grab(parallelChunk),
+			accs:      make([]partStats, len(profs)),
+			in:        make(chan []trace.Access, 1),
 		}
 		pr.workers[i] = cw
 		go cw.run(fused, singles, profs, &pr.wg)
@@ -226,12 +234,13 @@ func startWorkers(w int, minSets int, ar *sweepArena, fused []fusedGroup, single
 	return pr
 }
 
-// broadcast hands one packed chunk to every worker and returns once all
-// of them are scheduled to pick it up; wait() blocks until they finish.
-func (pr *parallelRun) broadcast(packed []uint64) {
+// broadcast hands one raw access batch to every worker and returns once
+// all of them are scheduled to pick it up; wait() blocks until they
+// finish.
+func (pr *parallelRun) broadcast(batch []trace.Access) {
 	pr.wg.Add(len(pr.workers))
 	for _, w := range pr.workers {
-		w.in <- packed
+		w.in <- batch
 	}
 }
 

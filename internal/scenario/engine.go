@@ -141,7 +141,7 @@ func (e *Engine) Evaluate(ctx context.Context, sp *Spec) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		envs[i] = caseEnv{stack: st, fp: scaling.FingerprintOf(st), solver: s, alpha: alpha, cons: sp.constraint(c.Budget)}
+		envs[i] = caseEnv{stack: st, fp: scaling.FingerprintOf(st), solver: s, alpha: alpha, cons: sp.constraintFor(c)}
 	}
 
 	cache := e.Cache

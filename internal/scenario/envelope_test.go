@@ -349,3 +349,130 @@ func TestRenderMultiWallTables(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluateCaseEnvelopeOverride: a cases[].envelopes entry replaces the
+// spec wall of its kind for that case only, and adds a wall when the spec
+// has none of that kind.
+func TestEvaluateCaseEnvelopeOverride(t *testing.T) {
+	sp := multiwallSpec()
+	sp.Cases = append(sp.Cases, sp.Cases[0])
+	// Case 1 loosens only the thermal wall; its bandwidth wall is inherited.
+	sp.Cases[1].Envelopes = []Envelope{{Kind: "Thermal", Limit: 10}}
+	o, err := NewEngine().Evaluate(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := o.PointsFor(0)
+	loose := o.PointsFor(1)
+	// With a 10x thermal ceiling the wall never flips: every generation
+	// stays bandwidth-bound, and the late generations gain cores.
+	for i, pt := range loose {
+		if pt.Binding != scaling.KindBandwidth {
+			t.Errorf("gen %d: binding = %q, want bandwidth under the loosened thermal wall", i+1, pt.Binding)
+		}
+		for _, wh := range pt.Walls {
+			if wh.Kind == scaling.KindThermal && wh.Limit != 10 {
+				t.Errorf("gen %d: thermal limit = %g, want the case override 10", i+1, wh.Limit)
+			}
+		}
+	}
+	if loose[3].Cores <= base[3].Cores {
+		t.Errorf("loosened case solved %d cores @16x, want more than the inherited %d", loose[3].Cores, base[3].Cores)
+	}
+	// Case 0 is untouched: the flip pinned by TestEvaluateMultiWallFlip.
+	if base[3].Binding != scaling.KindThermal {
+		t.Errorf("inherited case binding @16x = %q, want thermal", base[3].Binding)
+	}
+
+	// A case envelope of a kind the spec lacks joins the wall set.
+	sp2 := multiwallSpec()
+	sp2.Envelopes = sp2.Envelopes[:1] // bandwidth only
+	sp2.Cases[0].Envelopes = []Envelope{{Kind: "energy", Limit: 1.2}}
+	o2, err := NewEngine().Evaluate(context.Background(), sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, wh := range o2.PointsFor(0)[0].Walls {
+		kinds[wh.Kind] = true
+	}
+	if !kinds[scaling.KindBandwidth] || !kinds[scaling.KindEnergy] {
+		t.Errorf("walls = %v, want inherited bandwidth plus case energy", o2.PointsFor(0)[0].Walls)
+	}
+
+	// On a legacy spec (no spec envelopes at all) the implicit bandwidth
+	// wall is inherited alongside the case's added wall.
+	sp3 := &Spec{ID: "legacy", Axis: Axis{N2: []float64{32}}, Cases: []Case{{
+		Label:     "BASE",
+		Envelopes: []Envelope{{Kind: "thermal", Limit: 1.2}},
+	}}}
+	o3, err := NewEngine().Evaluate(context.Background(), sp3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt3 := o3.PointsFor(0)[0]
+	if len(pt3.Walls) != 2 || pt3.Budget != 1 {
+		t.Errorf("legacy + case envelope: walls = %v budget = %g, want implicit bandwidth 1 plus thermal", pt3.Walls, pt3.Budget)
+	}
+}
+
+// TestCaseEnvelopeValidation: per-case envelope errors carry the case's
+// JSON path, and the legacy budget override is mutually exclusive.
+func TestCaseEnvelopeValidation(t *testing.T) {
+	sp := multiwallSpec()
+	sp.Cases[0].Envelopes = []Envelope{{Kind: "termal"}}
+	err := sp.Validate()
+	if err == nil || !strings.Contains(err.Error(), `flip.cases[0].envelopes[0]: unknown kind "termal"`) {
+		t.Errorf("error = %v, want case-path unknown kind", err)
+	}
+	sp2 := multiwallSpec()
+	sp2.Cases[0].Envelopes = []Envelope{{Kind: "thermal", Limit: 2}}
+	sp2.Cases[0].Budget = 1.5
+	err = sp2.Validate()
+	if err == nil || !strings.Contains(err.Error(), "flip.cases[0].envelopes: mutually exclusive") {
+		t.Errorf("error = %v, want mutual-exclusion message", err)
+	}
+}
+
+// TestCaseEnvelopeCanonicalStability: specs without case envelopes must
+// serialize byte-identically whether or not the feature exists, and a spec
+// using it must survive Marshal→Parse→Marshal as a fixed point with
+// canonicalized kinds.
+func TestCaseEnvelopeCanonicalStability(t *testing.T) {
+	legacy := multiwallSpec()
+	data, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"cases":[{"label":"DRAM + 3D","stack":[{"name":"DRAM"`) == false {
+		t.Fatalf("unexpected canonical form: %s", data)
+	}
+	if strings.Count(string(data), "envelopes") != 1 {
+		t.Fatalf("legacy case grew an envelopes key: %s", data)
+	}
+
+	sp := multiwallSpec()
+	sp.Cases[0].Envelopes = []Envelope{{Kind: "THERMAL", Limit: 5}}
+	first, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), `"envelopes":[{"kind":"thermal","limit":5}]`) {
+		t.Fatalf("case envelope kind not canonicalized: %s", first)
+	}
+	// Marshal must not mutate the caller's spec (copy-on-write).
+	if sp.Cases[0].Envelopes[0].Kind != "THERMAL" {
+		t.Fatalf("Marshal mutated the caller's case envelopes")
+	}
+	re, err := ParseSpec(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("fixed point broken:\n%s\n%s", first, second)
+	}
+}

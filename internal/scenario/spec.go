@@ -138,6 +138,12 @@ type Case struct {
 	// Budget overrides the spec's envelope for this case; the spec's
 	// Compound flag still applies.
 	Budget float64 `json:"budget,omitempty"`
+	// Envelopes overrides spec-level walls for this case, by kind: an
+	// entry replaces the spec wall of the same kind, or adds a new wall
+	// when the spec has none of that kind (so one case can tighten a
+	// single wall while inheriting the rest). Mutually exclusive with the
+	// legacy Budget override.
+	Envelopes []Envelope `json:"envelopes,omitempty"`
 	// ValueKey, when non-empty, records the solved core count in the
 	// outcome's Values: under the key itself for a single-point axis, or
 	// under GenKey(ValueKey, ratio) per axis point otherwise.
@@ -223,6 +229,14 @@ func (sp *Spec) validateStructure() error {
 		if c.Budget < 0 {
 			return errf("%s.cases[%d].budget: must be non-negative, got %g", sp.ID, i, c.Budget)
 		}
+		if len(c.Envelopes) > 0 {
+			if c.Budget != 0 {
+				return errf("%s.cases[%d].envelopes: mutually exclusive with the legacy budget override", sp.ID, i)
+			}
+			if err := validateEnvelopeList(fmt.Sprintf("%s.cases[%d].envelopes", sp.ID, i), c.Envelopes); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -236,41 +250,48 @@ func (sp *Spec) validateEnvelopes() error {
 	if sp.Budget != (Budget{}) {
 		return errf("%s.envelopes: mutually exclusive with the legacy budget field (budget.envelope is the single-bandwidth alias)", sp.ID)
 	}
+	return validateEnvelopeList(sp.ID+".envelopes", sp.Envelopes)
+}
+
+// validateEnvelopeList checks one wall list (spec- or case-level). path is
+// the JSON location error messages carry, e.g. "fig02.envelopes" or
+// "opt.cases[3].envelopes".
+func validateEnvelopeList(path string, envs []Envelope) error {
 	seen := map[string]bool{}
-	for i, e := range sp.Envelopes {
+	for i, e := range envs {
 		kind := canonicalKind(e.Kind)
 		switch kind {
 		case scaling.KindBandwidth, scaling.KindThermal, scaling.KindEnergy:
 		default:
-			return errf("%s.envelopes[%d]: unknown kind %q (want bandwidth, thermal, or energy)", sp.ID, i, e.Kind)
+			return errf("%s[%d]: unknown kind %q (want bandwidth, thermal, or energy)", path, i, e.Kind)
 		}
 		if seen[kind] {
-			return errf("%s.envelopes[%d]: duplicate kind %q", sp.ID, i, kind)
+			return errf("%s[%d]: duplicate kind %q", path, i, kind)
 		}
 		seen[kind] = true
 		if e.Limit < 0 {
-			return errf("%s.envelopes[%d] (%s): limit must be non-negative, got %g", sp.ID, i, kind, e.Limit)
+			return errf("%s[%d] (%s): limit must be non-negative, got %g", path, i, kind, e.Limit)
 		}
 		if e.Growth < 0 {
-			return errf("%s.envelopes[%d] (%s): growth must be non-negative, got %g", sp.ID, i, kind, e.Growth)
+			return errf("%s[%d] (%s): growth must be non-negative, got %g", path, i, kind, e.Growth)
 		}
 		if kind == scaling.KindBandwidth && e.Growth != 0 {
-			return errf("%s.envelopes[%d] (bandwidth): growth applies only to thermal and energy walls (use compound for envelope growth)", sp.ID, i)
+			return errf("%s[%d] (bandwidth): growth applies only to thermal and energy walls (use compound for envelope growth)", path, i)
 		}
 		if e.CachePower != 0 && kind != scaling.KindThermal {
-			return errf("%s.envelopes[%d] (%s): cache_power applies only to thermal walls", sp.ID, i, kind)
+			return errf("%s[%d] (%s): cache_power applies only to thermal walls", path, i, kind)
 		}
 		if e.CachePower < 0 || e.CachePower >= 1 {
 			if e.CachePower != 0 {
-				return errf("%s.envelopes[%d] (thermal): cache_power must be in (0,1), got %g", sp.ID, i, e.CachePower)
+				return errf("%s[%d] (thermal): cache_power must be in (0,1), got %g", path, i, e.CachePower)
 			}
 		}
 		if e.AccessShare != 0 && kind != scaling.KindEnergy {
-			return errf("%s.envelopes[%d] (%s): access_share applies only to energy walls", sp.ID, i, kind)
+			return errf("%s[%d] (%s): access_share applies only to energy walls", path, i, kind)
 		}
 		if e.AccessShare < 0 || e.AccessShare >= 1 {
 			if e.AccessShare != 0 {
-				return errf("%s.envelopes[%d] (energy): access_share must be in (0,1), got %g", sp.ID, i, e.AccessShare)
+				return errf("%s[%d] (energy): access_share must be in (0,1), got %g", path, i, e.AccessShare)
 			}
 		}
 	}
@@ -313,20 +334,43 @@ func (sp *Spec) envelope() float64 {
 // single-bandwidth spec collapse onto one serialized form — and therefore
 // one serve-tier fingerprint and one set of cache keys.
 func (sp *Spec) normalize() {
-	if len(sp.Envelopes) == 0 {
-		return
+	if len(sp.Envelopes) > 0 {
+		env := canonicalEnvelopes(sp.Envelopes)
+		sp.Envelopes = env
+		if len(env) == 1 && sp.Budget == (Budget{}) &&
+			env[0] == (Envelope{Kind: scaling.KindBandwidth, Limit: env[0].Limit, Compound: env[0].Compound}) {
+			sp.Budget = Budget{Envelope: env[0].Limit, Compound: env[0].Compound}
+			sp.Envelopes = nil
+		}
 	}
-	env := make([]Envelope, len(sp.Envelopes))
-	copy(env, sp.Envelopes)
-	for i := range env {
-		env[i].Kind = canonicalKind(env[i].Kind)
+	// Case-level override kinds canonicalize too. Copy-on-write: the Cases
+	// backing array is shared with the caller's Spec during MarshalJSON, and
+	// specs without case envelopes must serialize byte-identically to before
+	// the field existed (canonical-fingerprint stability).
+	var cases []Case
+	for i, c := range sp.Cases {
+		if len(c.Envelopes) == 0 {
+			continue
+		}
+		env := canonicalEnvelopes(c.Envelopes)
+		if cases == nil {
+			cases = append([]Case(nil), sp.Cases...)
+		}
+		cases[i].Envelopes = env
 	}
-	sp.Envelopes = env
-	if len(env) == 1 && sp.Budget == (Budget{}) &&
-		env[0] == (Envelope{Kind: scaling.KindBandwidth, Limit: env[0].Limit, Compound: env[0].Compound}) {
-		sp.Budget = Budget{Envelope: env[0].Limit, Compound: env[0].Compound}
-		sp.Envelopes = nil
+	if cases != nil {
+		sp.Cases = cases
 	}
+}
+
+// canonicalEnvelopes returns a copy of envs with kinds lower-cased.
+func canonicalEnvelopes(envs []Envelope) []Envelope {
+	out := make([]Envelope, len(envs))
+	copy(out, envs)
+	for i := range out {
+		out[i].Kind = canonicalKind(out[i].Kind)
+	}
+	return out
 }
 
 // constraint resolves the wall set for one case. caseBudget > 0 is the
@@ -356,6 +400,42 @@ func (sp *Spec) constraint(caseBudget float64) scaling.Constraint {
 	}
 	if caseBudget > 0 && !haveBW {
 		walls = append(walls, scaling.BandwidthWall{Budget: caseBudget})
+	}
+	return scaling.NewConstraint(walls...)
+}
+
+// constraintFor resolves the wall set for one case, applying its Envelopes
+// overrides by kind on top of the spec-level walls: a case entry replaces
+// the spec wall of the same kind, or joins the set when the spec has none.
+// Cases without envelopes fall through to the legacy budget path.
+func (sp *Spec) constraintFor(c Case) scaling.Constraint {
+	if len(c.Envelopes) == 0 {
+		return sp.constraint(c.Budget)
+	}
+	var walls []scaling.Wall
+	if len(sp.Envelopes) == 0 {
+		// The implicit spec-level constraint is the single bandwidth wall
+		// (paper default envelope 1.0 unless Budget says otherwise).
+		walls = []scaling.Wall{scaling.BandwidthWall{Budget: sp.envelope(), Compound: sp.Budget.Compound}}
+	} else {
+		walls = make([]scaling.Wall, 0, len(sp.Envelopes)+len(c.Envelopes))
+		for _, e := range sp.Envelopes {
+			walls = append(walls, e.wall())
+		}
+	}
+	for _, e := range c.Envelopes {
+		w := e.wall()
+		replaced := false
+		for i := range walls {
+			if walls[i].Kind() == w.Kind() {
+				walls[i] = w
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			walls = append(walls, w)
+		}
 	}
 	return scaling.NewConstraint(walls...)
 }

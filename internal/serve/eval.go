@@ -21,6 +21,11 @@ import (
 // headroom while keeping a hostile client from ballooning the heap.
 const maxSpecBytes = 1 << 20
 
+// CacheHeader names the response header carrying the cache disposition
+// ("hit", "miss", "shared"). Exported so the fleet gateway can relay the
+// disposition its clients use to observe end-to-end caching.
+const CacheHeader = "X-Bandwall-Cache"
+
 // EvalResponse is the POST /v1/eval response body.
 type EvalResponse struct {
 	ID     string             `json:"id"`
@@ -157,7 +162,7 @@ func writeCached(ctx context.Context, w http.ResponseWriter, body []byte, dispos
 	span := obs.StartTraceSpanLeaf(ctx, StageWrite)
 	defer span.End()
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Bandwall-Cache", disposition)
+	w.Header().Set(CacheHeader, disposition)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/robust"
+	"repro/internal/scenario"
+)
+
+// OptimizeResponse is the POST /v1/optimize response body.
+type OptimizeResponse struct {
+	ID        string `json:"id"`
+	Title     string `json:"title,omitempty"`
+	Objective string `json:"objective"`
+	// Best is the maximal design; Frontier the objective-vs-cost Pareto
+	// frontier in ascending cost order, each point carrying its
+	// binding-wall attribution.
+	Best     optimize.DesignPoint   `json:"best"`
+	Frontier []optimize.DesignPoint `json:"frontier"`
+	// Stacks/Candidates size the search (eligible stacks, stack × split
+	// pairs).
+	Stacks     int `json:"stacks"`
+	Candidates int `json:"candidates"`
+	// Report is the rendered text report — the same tables `bandwall
+	// optimize` prints.
+	Report string `json:"report"`
+	// Cache reports the search's solver-cache traffic (cached responses
+	// replay the original search's stats).
+	Cache CacheStats `json:"cache"`
+}
+
+// handleOptimize runs an inverse design-space search from an OptimizeSpec
+// JSON body through the same serving pipeline as /v1/eval: strict parse →
+// canonical fingerprint → response cache → singleflight → shared-cache
+// optimizer → render once, cache, reply.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
+
+	parseSpan := obs.StartTraceSpanLeaf(ctx, StageParse)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		parseSpan.End()
+		writeError(w, r, http.StatusBadRequest, kindBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		parseSpan.End()
+		writeError(w, r, http.StatusBadRequest, kindBadRequest,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	osp, err := scenario.ParseOptimizeSpec(body)
+	parseSpan.End()
+	if err != nil {
+		writeModelError(w, r, err)
+		return
+	}
+
+	fpSpan := obs.StartTraceSpanLeaf(ctx, StageFingerprint)
+	key, err := FingerprintOptimizeSpec(osp)
+	fpSpan.End()
+	if err != nil {
+		writeModelError(w, r, err)
+		return
+	}
+	lookSpan := obs.StartTraceSpanLeaf(ctx, StageCacheLookup)
+	cached, ok := s.cache.Get(key)
+	lookSpan.End()
+	if ok {
+		s.mCacheHits.Inc()
+		tr.SetAttr("cache", "hit")
+		writeCached(ctx, w, cached, "hit")
+		return
+	}
+	s.mCacheMiss.Inc()
+
+	sfctx, sfSpan := obs.StartTraceSpan(ctx, StageSingleflight)
+	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		// Chaos hook, mirroring serve.eval: a seeded fault plan can make
+		// this replica error, hang, or panic mid-search.
+		if err := robust.Hit(sfctx, "serve.optimize"); err != nil {
+			return nil, robust.WithTraceID(err, tr.ID())
+		}
+		res, err := s.opt.Search(sfctx, osp)
+		if err != nil {
+			return nil, robust.WithTraceID(err, tr.ID())
+		}
+		s.solveCount.Add(1)
+		s.mSolves.Inc()
+		renderSpan := obs.StartTraceSpanLeaf(sfctx, StageRender)
+		rendered, err := renderOptimizeResult(res)
+		renderSpan.End()
+		if err != nil {
+			return nil, robust.WithTraceID(err, tr.ID())
+		}
+		s.cache.Put(key, rendered)
+		return rendered, nil
+	})
+	sfSpan.End()
+	if shared {
+		s.sharedCount.Add(1)
+		s.mShared.Inc()
+	}
+	tr.SetAttr("shared", fmt.Sprintf("%t", shared))
+	if err != nil {
+		writeModelError(w, r, err)
+		return
+	}
+	flag := "miss"
+	if shared {
+		flag = "shared"
+	}
+	tr.SetAttr("cache", flag)
+	writeCached(ctx, w, resp, flag)
+}
+
+// FingerprintOptimizeSpec derives the response-cache, singleflight, and
+// gateway-routing key for an optimize query: the SHA-256 of its canonical
+// JSON under an "optimize|" domain prefix, so an optimize fingerprint can
+// never collide with an eval fingerprint in the shared response cache.
+func FingerprintOptimizeSpec(osp *scenario.OptimizeSpec) (string, error) {
+	canon, err := json.Marshal(osp)
+	if err != nil {
+		return "", fmt.Errorf("canonicalizing optimize spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("optimize|"))
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// renderOptimizeResult builds the response body bytes for one search.
+func renderOptimizeResult(res *optimize.Result) ([]byte, error) {
+	var report strings.Builder
+	for _, tb := range res.Tables() {
+		report.WriteString(tb.String())
+	}
+	return json.Marshal(OptimizeResponse{
+		ID:         res.Spec.ID,
+		Title:      res.Spec.Title,
+		Objective:  res.Objective,
+		Best:       res.Best,
+		Frontier:   res.Frontier,
+		Stacks:     res.Stacks,
+		Candidates: res.Candidates,
+		Report:     report.String(),
+		Cache:      CacheStats{Hits: res.CacheHits, Misses: res.CacheMisses},
+	})
+}

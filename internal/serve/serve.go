@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST   /v1/eval                    evaluate a scenario.Spec JSON body
+//	POST   /v1/optimize                inverse design-space search from an OptimizeSpec JSON body
 //	GET    /v1/experiments             list the registered reproductions
 //	POST   /v1/experiments/{id}/run    run one reproduction
 //	GET    /v1/catalog                 the technique registry + param schemas
@@ -51,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/robust"
 	"repro/internal/scenario"
 )
@@ -143,6 +145,7 @@ func (c Config) runtimeSampleInterval() time.Duration {
 type Server struct {
 	cfg    Config
 	engine *scenario.Engine
+	opt    *optimize.Optimizer // shares the engine's solver cache
 
 	sem    chan struct{} // admission slots for the heavy endpoints
 	flight *group        // collapses concurrent identical evals
@@ -256,6 +259,7 @@ func NewServer(cfg Config) *Server {
 		mLatency:   reg.Histogram(MetricLatencyUS, latencyBounds),
 		gInflight:  reg.Gauge(MetricInflight),
 	}
+	s.opt = optimize.NewWithCache(s.engine.Cache)
 	for class := 2; class <= 5; class++ {
 		s.mResp[class] = reg.Counter(fmt.Sprintf("serve.responses.%dxx", class))
 	}
@@ -265,7 +269,7 @@ func NewServer(cfg Config) *Server {
 	// Pre-resolve every route × stage histogram the tracer will feed, so
 	// recordStages is map reads on an immutable map, not registry lookups.
 	s.stageH = make(map[string]map[string]*obs.Histogram)
-	for _, route := range []string{"eval", "run", "metrics", "catalog", "experiments", "trace", "cache", "validate"} {
+	for _, route := range []string{"eval", "optimize", "run", "metrics", "catalog", "experiments", "trace", "cache", "validate"} {
 		m := make(map[string]*obs.Histogram, 8)
 		for _, stage := range []string{
 			StageTotal, StageAdmit, StageParse, StageFingerprint,
@@ -283,6 +287,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("POST /v1/experiments/{id}/run", s.instrument("run", s.admit(s.handleExperimentRun)))
 	s.mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.admit(s.handleEval)))
+	s.mux.HandleFunc("POST /v1/optimize", s.instrument("optimize", s.admit(s.handleOptimize)))
 	s.mux.HandleFunc("POST /v1/validate", s.instrument("validate", s.handleValidate))
 	s.mux.HandleFunc("GET /v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /v1/cache", s.instrument("cache", s.handleCacheGet))

@@ -94,6 +94,37 @@ curl -sf "$BASE/v1/cache" | grep -q '"entries":0' || {
   exit 1
 }
 
+echo "== POST /v1/optimize (inverse query round trip)"
+OPT_SPEC="examples/scenarios/optimize-area-budget.json"
+OPT_HDRS="$(mktemp)"
+OPT_RESP="$(curl -sf -D "$OPT_HDRS" -X POST --data-binary "@$OPT_SPEC" "$BASE/v1/optimize")"
+echo "$OPT_RESP" | grep -q '"label":"3D"' || {
+  echo "FAIL: optimize response missing the best stack (3D):" >&2
+  echo "$OPT_RESP" | head -c 600 >&2
+  exit 1
+}
+echo "$OPT_RESP" | grep -q '"binding":"thermal"' || {
+  echo "FAIL: optimize response missing the thermal binding attribution" >&2
+  echo "$OPT_RESP" | head -c 600 >&2
+  exit 1
+}
+grep -qi '^x-bandwall-cache: miss' "$OPT_HDRS" || {
+  echo "FAIL: first optimize request should be a cache miss" >&2
+  cat "$OPT_HDRS" >&2
+  exit 1
+}
+OPT_HDRS2="$(mktemp)"
+OPT_RESP2="$(curl -sf -D "$OPT_HDRS2" -X POST --data-binary "@$OPT_SPEC" "$BASE/v1/optimize")"
+grep -qi '^x-bandwall-cache: hit' "$OPT_HDRS2" || {
+  echo "FAIL: repeated optimize request should be a cache hit" >&2
+  cat "$OPT_HDRS2" >&2
+  exit 1
+}
+if [[ "$OPT_RESP" != "$OPT_RESP2" ]]; then
+  echo "FAIL: cached optimize response differs from the original" >&2
+  exit 1
+fi
+
 echo "== scrape /metrics"
 # Capture first: grep -q closing the pipe early would SIGPIPE curl and
 # trip pipefail even on a healthy response.
